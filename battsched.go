@@ -1,0 +1,306 @@
+package battsched
+
+import (
+	"math/rand"
+
+	"battsched/internal/battery"
+	"battsched/internal/battery/diffusion"
+	"battsched/internal/battery/kibam"
+	"battsched/internal/battery/peukert"
+	"battsched/internal/battery/stochastic"
+	"battsched/internal/core"
+	"battsched/internal/dvs"
+	"battsched/internal/optimal"
+	"battsched/internal/priority"
+	"battsched/internal/processor"
+	"battsched/internal/profile"
+	"battsched/internal/taskgraph"
+	"battsched/internal/tgff"
+	"battsched/internal/trace"
+)
+
+// Workload model types (see internal/taskgraph).
+type (
+	// Graph is a periodic task graph: a DAG of tasks with a period equal to
+	// its relative deadline.
+	Graph = taskgraph.Graph
+	// Node is one task of a Graph.
+	Node = taskgraph.Node
+	// NodeID identifies a node within its graph.
+	NodeID = taskgraph.NodeID
+	// Edge is a precedence constraint between two nodes of a graph.
+	Edge = taskgraph.Edge
+	// System is the set of task graphs scheduled together.
+	System = taskgraph.System
+	// ExecutionModel draws the actual execution requirement of node instances.
+	ExecutionModel = taskgraph.ExecutionModel
+	// UniformExecution draws actual requirements uniformly in a fraction
+	// range of the WCET (the paper uses 20–100 %).
+	UniformExecution = taskgraph.UniformExecution
+	// WorstCaseExecution makes every instance take its full WCET.
+	WorstCaseExecution = taskgraph.WorstCaseExecution
+	// FixedFractionExecution takes a fixed fraction of the WCET, optionally
+	// overridden per node name.
+	FixedFractionExecution = taskgraph.FixedFractionExecution
+)
+
+// NewGraph returns an empty task graph with the given name and period.
+func NewGraph(name string, period float64) *Graph { return taskgraph.NewGraph(name, period) }
+
+// NewSystem returns a System containing the given graphs.
+func NewSystem(graphs ...*Graph) *System { return taskgraph.NewSystem(graphs...) }
+
+// NewUniformExecution returns the paper's execution model: actual cycles
+// drawn uniformly in [minFrac, maxFrac]*WCET.
+func NewUniformExecution(minFrac, maxFrac float64, seed int64) *UniformExecution {
+	return taskgraph.NewUniformExecution(minFrac, maxFrac, seed)
+}
+
+// Random workload generation (see internal/tgff).
+type (
+	// GeneratorConfig controls the random task-graph generator (the in-repo
+	// substitute for TGFF).
+	GeneratorConfig = tgff.Config
+)
+
+// DefaultGeneratorConfig returns the configuration used by the paper's
+// experiments (5–15 nodes per graph, uniform WCETs, random dependencies).
+func DefaultGeneratorConfig() GeneratorConfig { return tgff.DefaultConfig() }
+
+// GenerateSystem produces numGraphs random task graphs scaled to the given
+// worst-case utilisation at fmax.
+func GenerateSystem(cfg GeneratorConfig, numGraphs int, utilization, fmax float64, rng *rand.Rand) (*System, error) {
+	return tgff.GenerateSystem(cfg, numGraphs, utilization, fmax, rng)
+}
+
+// GenerateGraph produces one random task graph with n nodes.
+func GenerateGraph(cfg GeneratorConfig, name string, n int, rng *rand.Rand) (*Graph, error) {
+	return tgff.GenerateWithNodes(cfg, name, n, rng)
+}
+
+// Processor model (see internal/processor).
+type (
+	// Processor is the DVS processor and power-delivery model.
+	Processor = processor.Model
+	// OperatingPoint is one supported frequency/voltage pair.
+	OperatingPoint = processor.OperatingPoint
+)
+
+// DefaultProcessor returns the paper's processor: operating points
+// [(0.5 GHz, 3 V), (0.75 GHz, 4 V), (1 GHz, 5 V)] powered from a 1.2 V cell.
+func DefaultProcessor() *Processor { return processor.Default() }
+
+// DVS frequency-setting algorithms (see internal/dvs).
+type (
+	// DVSAlgorithm selects the reference frequency at scheduling decision
+	// points.
+	DVSAlgorithm = dvs.Algorithm
+	// InstanceView is the per-instance summary handed to DVS algorithms.
+	InstanceView = dvs.InstanceView
+)
+
+// NewNoDVS returns the no-scaling baseline (always f_max while busy).
+func NewNoDVS() DVSAlgorithm { return dvs.NewNoDVS() }
+
+// NewStaticEDF returns the static utilisation-based scaling baseline.
+func NewStaticEDF() DVSAlgorithm { return dvs.NewStatic() }
+
+// NewCCEDF returns the cycle-conserving EDF DVS algorithm extended to task
+// graphs (the paper's Algorithm 1).
+func NewCCEDF() DVSAlgorithm { return dvs.NewCCEDF() }
+
+// NewLAEDF returns the look-ahead EDF DVS algorithm extended to task graphs.
+func NewLAEDF() DVSAlgorithm { return dvs.NewLAEDF() }
+
+// Priority functions (see internal/priority).
+type (
+	// PriorityFunction orders the ready list; the scheduler runs the
+	// candidate with the smallest value.
+	PriorityFunction = priority.Function
+	// Candidate is one ready node offered to a priority function.
+	Candidate = priority.Candidate
+	// PriorityContext carries the scheduler state a priority function sees.
+	PriorityContext = priority.Context
+	// Estimator predicts actual execution requirements (X_k) for pUBS.
+	Estimator = priority.Estimator
+	// HistoryEstimator keeps a per-node EWMA of observed actual/WCET ratios.
+	HistoryEstimator = priority.HistoryEstimator
+)
+
+// NewPUBS returns Gruian's near-optimal pUBS priority function.
+func NewPUBS() PriorityFunction { return priority.NewPUBS() }
+
+// NewLTF returns the Largest-Task-First heuristic.
+func NewLTF() PriorityFunction { return priority.NewLTF() }
+
+// NewSTF returns the Shortest-Task-First heuristic.
+func NewSTF() PriorityFunction { return priority.NewSTF() }
+
+// NewRandomOrder returns the random ordering policy.
+func NewRandomOrder() PriorityFunction { return priority.NewRandom() }
+
+// NewFIFO returns the canonical EDF tie-breaking (FIFO) order.
+func NewFIFO() PriorityFunction { return priority.NewFIFO() }
+
+// NewHistoryEstimator returns an EWMA-based estimator of actual requirements.
+func NewHistoryEstimator(alpha float64) *HistoryEstimator { return priority.NewHistoryEstimator(alpha) }
+
+// Scheduler (see internal/core).
+type (
+	// Config assembles one scheduling simulation.
+	Config = core.Config
+	// Result summarises one scheduling simulation.
+	Result = core.Result
+	// ReadyPolicy selects BAS-1 (MostImminentOnly) or BAS-2 (AllReleased).
+	ReadyPolicy = core.ReadyPolicy
+	// FrequencyMode selects continuous or discrete frequency realisation.
+	FrequencyMode = core.FrequencyMode
+)
+
+// Ready-list policies and frequency modes.
+const (
+	// MostImminentOnly admits ready nodes of the earliest-deadline graph only
+	// (BAS-1).
+	MostImminentOnly = core.MostImminentOnly
+	// AllReleased admits ready nodes of every released graph, guarded by the
+	// feasibility check (BAS-2).
+	AllReleased = core.AllReleased
+	// ContinuousFrequency runs exactly at fref (idealised processor).
+	ContinuousFrequency = core.ContinuousFrequency
+	// DiscreteFrequency realises fref as a linear combination of the two
+	// adjacent supported operating points.
+	DiscreteFrequency = core.DiscreteFrequency
+	// DiscreteCeilFrequency realises fref at the smallest supported operating
+	// point above it (naive quantisation, for ablation studies).
+	DiscreteCeilFrequency = core.DiscreteCeilFrequency
+)
+
+// Run executes one scheduling simulation.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Execution traces and load profiles.
+type (
+	// Trace is the execution trace (Gantt) of a simulation.
+	Trace = trace.Trace
+	// TraceSlice is one interval of a Trace.
+	TraceSlice = trace.Slice
+	// GanttOptions control ASCII rendering of a Trace.
+	GanttOptions = trace.GanttOptions
+	// Profile is a piecewise-constant battery load-current profile.
+	Profile = profile.Profile
+	// ProfileSegment is one constant-current interval of a Profile.
+	ProfileSegment = profile.Segment
+)
+
+// Battery models (see internal/battery and its sub-packages).
+type (
+	// BatteryModel is the interface implemented by all battery models.
+	BatteryModel = battery.Model
+	// BatteryResult is the outcome of a battery lifetime simulation.
+	BatteryResult = battery.Result
+	// BatterySimulateOptions tune the battery simulation driver.
+	BatterySimulateOptions = battery.SimulateOptions
+	// CurvePoint is one point of a load versus delivered-capacity curve.
+	CurvePoint = battery.CurvePoint
+)
+
+// NewKiBaM returns the default Kinetic Battery Model cell (1.2 V, 2000 mAh
+// maximum capacity, AAA NiMH calibration).
+func NewKiBaM() BatteryModel { return kibam.Default() }
+
+// NewDiffusionBattery returns the default Rakhmatov–Vrudhula diffusion cell.
+func NewDiffusionBattery() BatteryModel { return diffusion.Default() }
+
+// NewStochasticBattery returns the default stochastic charge-unit cell (the
+// model family the paper's own evaluation uses), in deterministic
+// expected-value mode.
+func NewStochasticBattery() BatteryModel { return stochastic.Default() }
+
+// NewPeukertBattery returns the default Peukert's-law cell.
+func NewPeukertBattery() BatteryModel { return peukert.Default() }
+
+// BatteryLifetime plays the profile periodically against the model until the
+// battery is exhausted and reports lifetime and delivered charge.
+func BatteryLifetime(m BatteryModel, p *Profile) (BatteryResult, error) {
+	return battery.SimulateUntilExhausted(m, p, battery.SimulateOptions{})
+}
+
+// BatteryLifetimeOpts is BatteryLifetime with explicit simulation options.
+func BatteryLifetimeOpts(m BatteryModel, p *Profile, opts BatterySimulateOptions) (BatteryResult, error) {
+	return battery.SimulateUntilExhausted(m, p, opts)
+}
+
+// DeliveredCapacityCurve sweeps constant loads and reports the delivered
+// capacity of the model at each (the battery characterisation curve of §5).
+func DeliveredCapacityCurve(m BatteryModel, currents []float64, maxTime float64) ([]CurvePoint, error) {
+	return battery.DeliveredCapacityCurve(m, currents, maxTime)
+}
+
+// Single-graph ordering analysis (see internal/optimal) — the machinery
+// behind the paper's Table 1.
+type (
+	// OrderingParams configure the single-graph greedy-rescaling model.
+	OrderingParams = optimal.Params
+	// OrderingEvaluation is the outcome of executing one order.
+	OrderingEvaluation = optimal.Evaluation
+	// OrderingSearchResult is the outcome of the exhaustive optimal search.
+	OrderingSearchResult = optimal.SearchResult
+)
+
+// EvaluateOrder simulates one execution order of a single graph under the
+// greedy speed-rescaling model.
+func EvaluateOrder(g *Graph, order []NodeID, p OrderingParams) (OrderingEvaluation, error) {
+	return optimal.EvaluateOrder(g, order, p)
+}
+
+// GreedyOrder builds and evaluates an order with the given priority function.
+func GreedyOrder(g *Graph, prio PriorityFunction, p OrderingParams, estimates []float64, rng *rand.Rand) (OrderingEvaluation, error) {
+	return optimal.GreedyOrder(g, prio, p, estimates, rng)
+}
+
+// OptimalOrder finds the energy-optimal linear extension by exhaustive search
+// with branch-and-bound (maxExpansions 0 selects the default budget).
+func OptimalOrder(g *Graph, p OrderingParams, maxExpansions int) (OrderingSearchResult, error) {
+	return optimal.OptimalOrder(g, p, maxExpansions)
+}
+
+// Scheme bundles the DVS algorithm, priority function and ready-list policy
+// that define one of the scheduling schemes compared in the paper's Table 2.
+type Scheme struct {
+	// Name is the scheme's label ("BAS-2", "laEDF", ...).
+	Name string
+	// DVS selects the reference frequency.
+	DVS DVSAlgorithm
+	// Priority orders the ready list.
+	Priority PriorityFunction
+	// ReadyPolicy selects the candidate admission rule.
+	ReadyPolicy ReadyPolicy
+}
+
+// PaperSchemes returns the five scheduling schemes of the paper's Table 2 in
+// the paper's order: EDF without DVS, cycle-conserving ccEDF and look-ahead
+// laEDF with random ordering, and the Battery-Aware Scheduling schemes BAS-1
+// and BAS-2.
+func PaperSchemes() []Scheme {
+	return []Scheme{
+		{Name: "EDF", DVS: NewNoDVS(), Priority: NewRandomOrder(), ReadyPolicy: MostImminentOnly},
+		{Name: "ccEDF", DVS: NewCCEDF(), Priority: NewRandomOrder(), ReadyPolicy: MostImminentOnly},
+		{Name: "laEDF", DVS: NewLAEDF(), Priority: NewRandomOrder(), ReadyPolicy: MostImminentOnly},
+		{Name: "BAS-1", DVS: NewLAEDF(), Priority: NewPUBS(), ReadyPolicy: MostImminentOnly},
+		{Name: "BAS-2", DVS: NewLAEDF(), Priority: NewPUBS(), ReadyPolicy: AllReleased},
+	}
+}
+
+// BAS1 returns the paper's BAS-1 scheme (laEDF + pUBS over the most imminent
+// task graph).
+func BAS1() Scheme { return PaperSchemes()[3] }
+
+// BAS2 returns the paper's BAS-2 scheme (laEDF + pUBS over all released task
+// graphs with the feasibility check).
+func BAS2() Scheme { return PaperSchemes()[4] }
+
+// MAh converts coulombs to milliampere-hours.
+func MAh(coulombs float64) float64 { return battery.MAh(coulombs) }
+
+// Coulombs converts milliampere-hours to coulombs.
+func Coulombs(mAh float64) float64 { return battery.Coulombs(mAh) }

@@ -1,0 +1,151 @@
+package battsched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"battsched"
+)
+
+// buildVideoPipeline builds a small realistic task graph through the public
+// API: a decode -> {scale, audio} -> mux pipeline with a 40 ms period.
+func buildVideoPipeline() *battsched.Graph {
+	g := battsched.NewGraph("video", 0.040)
+	decode := g.AddNode("decode", 8e6)
+	scale := g.AddNode("scale", 6e6)
+	audio := g.AddNode("audio", 3e6)
+	mux := g.AddNode("mux", 2e6)
+	g.AddEdge(decode, scale)
+	g.AddEdge(decode, audio)
+	g.AddEdge(scale, mux)
+	g.AddEdge(audio, mux)
+	return g
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys := battsched.NewSystem(buildVideoPipeline())
+	res, err := battsched.Run(battsched.Config{
+		System:       sys,
+		Processor:    battsched.DefaultProcessor(),
+		DVS:          battsched.NewLAEDF(),
+		Priority:     battsched.NewPUBS(),
+		ReadyPolicy:  battsched.AllReleased,
+		Execution:    battsched.NewUniformExecution(0.2, 1.0, 1),
+		Hyperperiods: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("deadline misses = %d", res.DeadlineMisses)
+	}
+	if res.JobsCompleted != 10 {
+		t.Fatalf("jobs completed = %d, want 10", res.JobsCompleted)
+	}
+	for _, m := range []battsched.BatteryModel{
+		battsched.NewKiBaM(), battsched.NewDiffusionBattery(),
+		battsched.NewStochasticBattery(), battsched.NewPeukertBattery(),
+	} {
+		life, err := battsched.BatteryLifetimeOpts(m, res.Profile, battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if life.LifetimeMinutes() <= 0 || life.DeliveredMAh() <= 0 || life.DeliveredMAh() > 2001 {
+			t.Fatalf("%s: implausible result %+v", m.Name(), life)
+		}
+	}
+}
+
+func TestPublicAPISchemes(t *testing.T) {
+	schemes := battsched.PaperSchemes()
+	if len(schemes) != 5 {
+		t.Fatalf("schemes = %d, want 5", len(schemes))
+	}
+	if battsched.BAS1().Name != "BAS-1" || battsched.BAS2().Name != "BAS-2" {
+		t.Fatal("BAS1/BAS2 names wrong")
+	}
+	if battsched.BAS2().ReadyPolicy != battsched.AllReleased {
+		t.Fatal("BAS-2 must use the all-released ready list")
+	}
+	sys := battsched.NewSystem(buildVideoPipeline())
+	for _, s := range schemes {
+		res, err := battsched.Run(battsched.Config{
+			System:        sys.Clone(),
+			DVS:           s.DVS,
+			Priority:      s.Priority,
+			ReadyPolicy:   s.ReadyPolicy,
+			FrequencyMode: battsched.DiscreteFrequency,
+			Execution:     battsched.NewUniformExecution(0.2, 1.0, 2),
+			Hyperperiods:  5,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.DeadlineMisses != 0 {
+			t.Fatalf("%s: %d deadline misses", s.Name, res.DeadlineMisses)
+		}
+	}
+}
+
+func TestPublicAPIGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys, err := battsched.GenerateSystem(battsched.DefaultGeneratorConfig(), 4, 0.7, battsched.DefaultProcessor().FMax(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Utilization(battsched.DefaultProcessor().FMax()); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("utilisation = %v", got)
+	}
+	g, err := battsched.GenerateGraph(battsched.DefaultGeneratorConfig(), "g", 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 7 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestPublicAPIOrderingAnalysis(t *testing.T) {
+	g := battsched.NewGraph("fig4", 10)
+	g.AddNode("task1", 4e9)
+	g.AddNode("task2", 6e9)
+	params := battsched.OrderingParams{Deadline: 10, FMax: 1e9, Actuals: []float64{0.4 * 4e9, 0.6 * 6e9}}
+	opt, err := battsched.OptimalOrder(g, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs, err := battsched.GreedyOrder(g, battsched.NewPUBS(), params, params.Actuals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubs.Energy < opt.Best.Energy-1e-6 {
+		t.Fatal("greedy beat the optimum")
+	}
+	ev, err := battsched.EvaluateOrder(g, []battsched.NodeID{0, 1}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("order infeasible")
+	}
+}
+
+func TestPublicAPIConversions(t *testing.T) {
+	if battsched.Coulombs(1000) != 3600 || battsched.MAh(3600) != 1000 {
+		t.Fatal("unit conversions wrong")
+	}
+	if battsched.DefaultProcessor().FMax() != 1e9 {
+		t.Fatal("default processor fmax wrong")
+	}
+}
+
+func TestPublicAPICapacityCurve(t *testing.T) {
+	pts, err := battsched.DeliveredCapacityCurve(battsched.NewKiBaM(), []float64{0.5, 2.0}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1].DeliveredMAh > pts[0].DeliveredMAh+1 {
+		t.Fatalf("curve wrong: %+v", pts)
+	}
+}

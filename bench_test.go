@@ -1,0 +1,292 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (in reduced "quick" form so a -bench=. run stays tractable), plus
+// micro-benchmarks of the scheduler, priority functions and battery models.
+//
+// Full-size reproductions are run with cmd/experiments; see EXPERIMENTS.md
+// for the recorded paper-versus-measured numbers.
+package battsched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"battsched"
+	"battsched/internal/battery"
+	"battsched/internal/battery/diffusion"
+	"battsched/internal/battery/kibam"
+	"battsched/internal/battery/stochastic"
+	"battsched/internal/experiments"
+	"battsched/internal/priority"
+	"battsched/internal/profile"
+)
+
+// BenchmarkTable1 regenerates the paper's Table 1 (energy of Random/LTF/pUBS
+// orderings normalised to the exhaustive optimum on single task graphs).
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.QuickTable1Config()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the paper's Figure 6 (energy of ordering
+// schemes normalised to the precedence-free near-optimal schedule).
+func BenchmarkFigure6(b *testing.B) {
+	cfg := experiments.QuickFigure6Config()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFigure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the paper's Table 2 (charge delivered and
+// battery lifetime of the five scheduling schemes).
+func BenchmarkTable2(b *testing.B) {
+	cfg := experiments.QuickTable2Config()
+	cfg.BatteryName = "kibam"
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkLoadCapacityCurve regenerates the load versus delivered-capacity
+// battery characterisation curve of Section 5.
+func BenchmarkLoadCapacityCurve(b *testing.B) {
+	cfg := experiments.QuickCurveConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLoadCapacityCurve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSystem builds a deterministic random workload for scheduler
+// micro-benchmarks.
+func benchSystem(b *testing.B, graphs int) *battsched.System {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	sys, err := battsched.GenerateSystem(battsched.DefaultGeneratorConfig(), graphs, 0.7, 1e9, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkSchedulerBAS2 measures one hyperperiod of the full BAS-2
+// methodology (laEDF + pUBS over all released graphs, discrete frequencies).
+func BenchmarkSchedulerBAS2(b *testing.B) {
+	sys := benchSystem(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := battsched.Run(battsched.Config{
+			System:        sys.Clone(),
+			DVS:           battsched.NewLAEDF(),
+			Priority:      battsched.NewPUBS(),
+			ReadyPolicy:   battsched.AllReleased,
+			FrequencyMode: battsched.DiscreteFrequency,
+			Execution:     battsched.NewUniformExecution(0.2, 1.0, int64(i)),
+			Hyperperiods:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeadlineMisses != 0 {
+			b.Fatal("deadline miss")
+		}
+	}
+}
+
+// BenchmarkSchedulerCCEDF measures one hyperperiod of ccEDF with canonical
+// EDF ordering, the simplest DVS baseline.
+func BenchmarkSchedulerCCEDF(b *testing.B) {
+	sys := benchSystem(b, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := battsched.Run(battsched.Config{
+			System:       sys.Clone(),
+			DVS:          battsched.NewCCEDF(),
+			Priority:     battsched.NewFIFO(),
+			Execution:    battsched.NewUniformExecution(0.2, 1.0, int64(i)),
+			Hyperperiods: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPUBSPriority measures one pUBS priority evaluation.
+func BenchmarkPUBSPriority(b *testing.B) {
+	p := priority.NewPUBS()
+	ctx := &priority.Context{
+		CurrentFrequency: 0.7e9,
+		FMax:             1e9,
+		FrequencyAfter:   func(c priority.Candidate, x float64) float64 { return 0.6e9 },
+	}
+	c := priority.Candidate{RemainingWCET: 10e6, EstimatedActual: 6e6, AbsoluteDeadline: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Priority(c, ctx)
+	}
+}
+
+// benchProfile is a representative two-level periodic load.
+func benchProfile() *profile.Profile {
+	p := profile.New()
+	p.Append(0.2, 1.2)
+	p.Append(0.3, 0.4)
+	p.Append(0.5, 0.01)
+	return p
+}
+
+// BenchmarkKiBaMLifetime measures a full lifetime simulation on the KiBaM
+// cell.
+func BenchmarkKiBaMLifetime(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := battery.SimulateUntilExhausted(kibam.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600, MaxStep: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiffusionLifetime measures a full lifetime simulation on the
+// Rakhmatov–Vrudhula diffusion cell.
+func BenchmarkDiffusionLifetime(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := battery.SimulateUntilExhausted(diffusion.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600, MaxStep: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStochasticLifetime measures a full lifetime simulation on the
+// stochastic charge-unit cell (expected-value mode).
+func BenchmarkStochasticLifetime(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		if _, err := battery.SimulateUntilExhausted(stochastic.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600, MaxStep: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateAblation runs the estimate-quality ablation (how the
+// accuracy of the X_k estimates changes the benefit of the pUBS ordering).
+func BenchmarkEstimateAblation(b *testing.B) {
+	cfg := experiments.QuickEstimateAblationConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunEstimateAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkAblationReadyPolicy compares the two ready-list policies of the
+// paper (BAS-1 most-imminent vs BAS-2 all-released with the feasibility
+// check) on the same workload — the design choice Section 4.2 discusses.
+func BenchmarkAblationReadyPolicy(b *testing.B) {
+	sys := benchSystem(b, 5)
+	for _, bench := range []struct {
+		name   string
+		policy battsched.ReadyPolicy
+	}{
+		{"most-imminent", battsched.MostImminentOnly},
+		{"all-released", battsched.AllReleased},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := battsched.Run(battsched.Config{
+					System:        sys.Clone(),
+					DVS:           battsched.NewLAEDF(),
+					Priority:      battsched.NewPUBS(),
+					ReadyPolicy:   bench.policy,
+					FrequencyMode: battsched.DiscreteFrequency,
+					Execution:     battsched.NewUniformExecution(0.2, 1.0, int64(i)),
+					Hyperperiods:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DeadlineMisses != 0 {
+					b.Fatal("deadline miss")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuantization compares the optimal linear-combination
+// frequency realisation against naive ceil quantisation — the design choice
+// the paper justifies by citing Gaujal/Navet/Walsh.
+func BenchmarkAblationQuantization(b *testing.B) {
+	sys := benchSystem(b, 5)
+	for _, bench := range []struct {
+		name string
+		mode battsched.FrequencyMode
+	}{
+		{"linear-combination", battsched.DiscreteFrequency},
+		{"ceil", battsched.DiscreteCeilFrequency},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				res, err := battsched.Run(battsched.Config{
+					System:        sys.Clone(),
+					DVS:           battsched.NewCCEDF(),
+					Priority:      battsched.NewPUBS(),
+					FrequencyMode: bench.mode,
+					Execution:     battsched.NewUniformExecution(0.2, 1.0, 7),
+					Hyperperiods:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy += res.EnergyBattery
+			}
+			b.ReportMetric(energy/float64(b.N), "J/hyperperiod")
+		})
+	}
+}
+
+// BenchmarkOptimalSearch10 measures the exhaustive optimal-order search on a
+// 10-node DAG (the Table 1 baseline).
+func BenchmarkOptimalSearch10(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := battsched.GenerateGraph(battsched.DefaultGeneratorConfig(), "bench", 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actuals := make([]float64, g.NumNodes())
+	for i := range actuals {
+		actuals[i] = 0.5 * g.Nodes[i].WCET
+	}
+	params := battsched.OrderingParams{Deadline: g.TotalWCET() / (0.7 * 1e9), FMax: 1e9, Actuals: actuals}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := battsched.OptimalOrder(g, params, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

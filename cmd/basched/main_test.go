@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"battsched"
+)
+
+func TestParseDVS(t *testing.T) {
+	cases := map[string]string{
+		"noDVS": "noDVS", "none": "noDVS", "edf": "noDVS",
+		"static": "staticEDF",
+		"ccEDF":  "ccEDF", "cc": "ccEDF",
+		"laEDF": "laEDF", "la": "laEDF",
+	}
+	for in, want := range cases {
+		alg, err := parseDVS(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if alg.Name() != want {
+			t.Fatalf("%q -> %q, want %q", in, alg.Name(), want)
+		}
+	}
+	if _, err := parseDVS("bogus"); err == nil {
+		t.Fatal("expected error for unknown DVS name")
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	cases := map[string]string{
+		"pubs": "pUBS", "ltf": "LTF", "stf": "STF", "random": "Random", "fifo": "FIFO", "edf": "FIFO",
+	}
+	for in, want := range cases {
+		p, err := parsePriority(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%q -> %q, want %q", in, p.Name(), want)
+		}
+	}
+	if _, err := parsePriority("bogus"); err == nil {
+		t.Fatal("expected error for unknown priority name")
+	}
+}
+
+func TestRunWithGeneratedWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	profilePath := filepath.Join(t.TempDir(), "profile.csv")
+	err := run([]string{
+		"-random", "3", "-hyperperiods", "2", "-seed", "3",
+		"-dvs", "ccEDF", "-priority", "pubs", "-ready", "all",
+		"-battery", "kibam", "-trace", "-profile-out", profilePath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"deadline misses=0", "battery:", "idle", "energy:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(profilePath); err != nil {
+		t.Fatalf("profile CSV not written: %v", err)
+	}
+}
+
+func TestRunWithWorkloadFile(t *testing.T) {
+	g := battsched.NewGraph("T1", 0.05)
+	g.AddNode("a", 10e6)
+	g.AddNode("b", 5e6)
+	g.AddEdge(0, 1)
+	sys := battsched.NewSystem(g)
+	path := filepath.Join(t.TempDir(), "wl.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", path, "-battery", "none", "-mode", "continuous", "-priority", "fifo", "-ready", "imminent"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload: 1 graphs") {
+		t.Fatalf("output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-dvs", "bogus"},
+		{"-priority", "bogus"},
+		{"-ready", "bogus"},
+		{"-mode", "bogus"},
+		{"-battery", "bogus", "-random", "1", "-hyperperiods", "1"},
+		{"-workload", "/nonexistent/file.json"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command batsim evaluates battery models: it either plays a load-current
+// profile (CSV produced by cmd/basched) or a constant load against a chosen
+// battery model and reports lifetime and delivered charge, or sweeps constant
+// loads to produce the load versus delivered-capacity characterisation curve
+// referenced in Section 5 of the paper.
+//
+// Examples:
+//
+//	batsim -profile profile.csv -battery kibam
+//	batsim -current 1.2 -battery stochastic
+//	batsim -curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"battsched"
+	"battsched/internal/experiments"
+	"battsched/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "batsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("batsim", flag.ContinueOnError)
+	var (
+		profilePath = fs.String("profile", "", "load profile CSV (start_s,duration_s,current_a)")
+		current     = fs.Float64("current", 0, "constant load current in amperes (used when no profile is given)")
+		duration    = fs.Float64("duration", 60, "duration of the constant-load segment in seconds")
+		batteryName = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert")
+		curve       = fs.Bool("curve", false, "sweep constant loads and print the delivered-capacity curve for all models")
+		maxHours    = fs.Float64("max-hours", 72, "simulation horizon in hours")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *curve {
+		cfg := experiments.DefaultCurveConfig()
+		cfg.MaxHours = *maxHours
+		series, err := experiments.RunLoadCapacityCurve(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatCurve(series))
+		return nil
+	}
+
+	var p *battsched.Profile
+	switch {
+	case *profilePath != "":
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err = profile.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	case *current > 0:
+		p = profile.Constant(*current, *duration)
+	default:
+		return fmt.Errorf("either -profile, -current or -curve is required")
+	}
+
+	factory, err := experiments.NamedBatteryFactory(strings.ToLower(*batteryName))
+	if err != nil {
+		return err
+	}
+	m := factory()
+	res, err := battsched.BatteryLifetimeOpts(m, p, battsched.BatterySimulateOptions{MaxTime: *maxHours * 3600, MaxStep: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "profile:  duration=%.4gs avg current=%.4g A peak=%.4g A charge/cycle=%.4g mAh\n",
+		p.Duration(), p.AverageCurrent(), p.PeakCurrent(), p.ChargeMAh())
+	fmt.Fprintf(stdout, "battery:  %s (max capacity %.0f mAh)\n", m.Name(), battsched.MAh(m.MaxCapacity()))
+	fmt.Fprintf(stdout, "result:   lifetime=%.1f min  delivered=%.0f mAh  exhausted=%v  repetitions=%d\n",
+		res.LifetimeMinutes(), res.DeliveredMAh(), res.Exhausted, res.Repetitions)
+	return nil
+}

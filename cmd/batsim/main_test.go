@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunConstantLoad(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-current", "1.5", "-battery", "kibam"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kibam") || !strings.Contains(out, "lifetime=") {
+		t.Fatalf("output unexpected:\n%s", out)
+	}
+}
+
+func TestRunProfileCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.csv")
+	csv := "start_s,duration_s,current_a\n0,30,1.2\n30,30,0.2\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", path, "-battery", "stochastic"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "delivered=") {
+		t.Fatalf("output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-curve", "-max-hours", "40"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kibam", "diffusion", "stochastic", "peukert"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("curve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{}, // neither profile nor current nor curve
+		{"-current", "1", "-battery", "bogus"},
+		{"-profile", "/nonexistent.csv"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section:
+//
+//	-table1   Table 1  — ordering heuristics vs the optimal order (single DAGs)
+//	-figure6  Figure 6 — ordering schemes vs a near-optimal baseline
+//	-table2   Table 2  — charge delivered and battery lifetime per scheme
+//	-curve    load vs delivered-capacity battery characterisation curve
+//	-all      everything above
+//
+// The -quick flag runs reduced versions (the same configurations the
+// benchmark harness uses); the full versions match the parameters recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"battsched/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		table1   = fs.Bool("table1", false, "regenerate Table 1")
+		figure6  = fs.Bool("figure6", false, "regenerate Figure 6")
+		table2   = fs.Bool("table2", false, "regenerate Table 2")
+		curve    = fs.Bool("curve", false, "regenerate the load vs delivered-capacity curve")
+		ablation = fs.Bool("ablation", false, "run the estimate-quality ablation (not in the paper)")
+		all      = fs.Bool("all", false, "regenerate everything")
+		quick    = fs.Bool("quick", false, "use the reduced (benchmark) configurations")
+		seed     = fs.Int64("seed", 1, "random seed")
+		sets     = fs.Int("sets", 0, "override the number of task-graph sets (Table 2)")
+		util     = fs.Float64("utilization", 0, "override the utilisation (Figure 6 and Table 2)")
+		battery  = fs.String("battery", "stochastic", "battery model for Table 2: stochastic, kibam, diffusion, peukert")
+		ccFig6   = fs.Bool("figure6-ccedf", false, "use ccEDF instead of laEDF for Figure 6 frequency setting")
+		oracle   = fs.Bool("oracle", false, "give pUBS perfect estimates of actual requirements (Table 2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*table1 && !*figure6 && !*table2 && !*curve && !*ablation {
+		*all = true
+	}
+	if *all {
+		*table1, *figure6, *table2, *curve = true, true, true, true
+	}
+
+	if *table1 {
+		cfg := experiments.DefaultTable1Config()
+		if *quick {
+			cfg = experiments.QuickTable1Config()
+		}
+		cfg.Seed = *seed
+		start := time.Now()
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatTable1(rows))
+		fmt.Fprintf(stdout, "(%d DAGs per row, %.1fs)\n\n", cfg.GraphsPerCount, time.Since(start).Seconds())
+	}
+
+	if *figure6 {
+		cfg := experiments.DefaultFigure6Config()
+		if *quick {
+			cfg = experiments.QuickFigure6Config()
+		}
+		cfg.Seed = *seed
+		cfg.UseCCEDF = *ccFig6
+		if *util > 0 {
+			cfg.Utilization = *util
+		}
+		start := time.Now()
+		rows, err := experiments.RunFigure6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatFigure6(rows))
+		alg := "laEDF"
+		if cfg.UseCCEDF {
+			alg = "ccEDF"
+		}
+		fmt.Fprintf(stdout, "(%d sets per point, %s frequency setting, utilisation %.2f, %.1fs)\n\n",
+			cfg.SetsPerCount, alg, cfg.Utilization, time.Since(start).Seconds())
+	}
+
+	if *table2 {
+		cfg := experiments.DefaultTable2Config()
+		if *quick {
+			cfg = experiments.QuickTable2Config()
+		}
+		cfg.Seed = *seed
+		cfg.BatteryName = *battery
+		cfg.Battery = nil
+		cfg.OracleEstimates = *oracle
+		if *sets > 0 {
+			cfg.Sets = *sets
+		}
+		if *util > 0 {
+			cfg.Utilization = *util
+		}
+		start := time.Now()
+		rows, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatTable2(rows, cfg.BatteryName, cfg.Utilization))
+		fmt.Fprintf(stdout, "(%d task-graph sets, %.1fs)\n\n", cfg.Sets, time.Since(start).Seconds())
+	}
+
+	if *curve {
+		cfg := experiments.DefaultCurveConfig()
+		if *quick {
+			cfg = experiments.QuickCurveConfig()
+		}
+		start := time.Now()
+		series, err := experiments.RunLoadCapacityCurve(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatCurve(series))
+		fmt.Fprintf(stdout, "(%.1fs)\n", time.Since(start).Seconds())
+	}
+
+	if *ablation {
+		cfg := experiments.DefaultEstimateAblationConfig()
+		if *quick {
+			cfg = experiments.QuickEstimateAblationConfig()
+		}
+		cfg.Seed = *seed
+		if *util > 0 {
+			cfg.Utilization = *util
+		}
+		start := time.Now()
+		rows, err := experiments.RunEstimateAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatEstimateAblation(rows))
+		fmt.Fprintf(stdout, "(%d sets, %.1fs)\n", cfg.Sets, time.Since(start).Seconds())
+	}
+	return nil
+}

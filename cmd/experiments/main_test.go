@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-all", "-quick", "-battery", "kibam"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 6", "Table 2", "delivered capacity", "BAS-2", "pUBS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentSelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-curve", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Table 1") || !strings.Contains(out, "delivered capacity") {
+		t.Fatalf("selection not honoured:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-table2", "-quick", "-battery", "bogus"}, &buf); err == nil {
+		t.Fatal("expected battery model error")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"battsched"
+)
+
+func TestRunWritesValidWorkloadToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graphs", "3", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sys := &battsched.System{}
+	if err := sys.UnmarshalJSON(buf.Bytes()); err != nil {
+		t.Fatalf("output is not a valid system: %v", err)
+	}
+	if sys.NumGraphs() != 3 {
+		t.Fatalf("graphs = %d, want 3", sys.NumGraphs())
+	}
+	if err := sys.Validate(battsched.DefaultProcessor().FMax()); err != nil {
+		t.Fatalf("generated system invalid: %v", err)
+	}
+}
+
+func TestRunWritesToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-graphs", "2", "-utilization", "0.5", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graphs") {
+		t.Fatalf("file content unexpected: %s", data)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("stdout should be empty when -o is used, got %q", buf.String())
+	}
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	dotPath := filepath.Join(t.TempDir(), "wl.dot")
+	var buf bytes.Buffer
+	if err := run([]string{"-graphs", "2", "-dot", dotPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatalf("DOT file content unexpected: %s", data)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-graphs", "2", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graphs", "2", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graphs", "0"}, &buf); err == nil {
+		t.Fatal("expected error for zero graphs")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

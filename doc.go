@@ -1,0 +1,44 @@
+// Package battsched is a battery-aware dynamic scheduler for periodic task
+// graphs on a single DVS-capable processor. It reproduces the methodology of
+//
+//	"Battery Aware Dynamic Scheduling for Periodic Task Graphs"
+//	V. Rao, N. Navet, G. Singhal, A. Kumar, G.S. Visweswaran
+//	14th Int. Workshop on Parallel and Distributed Real-Time Systems, 2006.
+//
+// The library combines three ingredients:
+//
+//   - an EDF-based DVS algorithm (ccEDF or laEDF, extended to task graphs)
+//     that selects the reference frequency guaranteeing every deadline,
+//   - a greedy priority function (Gruian's pUBS, or LTF/STF/Random baselines)
+//     that picks which ready node to execute next so as to maximise slack
+//     recovery, optionally drawing candidates from all released task graphs
+//     guarded by the paper's feasibility check (the BAS-2 policy), and
+//   - battery models (KiBaM, Rakhmatov–Vrudhula diffusion, a stochastic
+//     charge-unit model and Peukert's law) that evaluate the resulting load
+//     current profiles for delivered charge and battery lifetime.
+//
+// The root package is a facade over the internal packages: it re-exports the
+// types needed to describe workloads, configure a simulation, run it and
+// evaluate the resulting profile on a battery. The examples/ directory shows
+// complete programs; the internal/experiments package regenerates the tables
+// and figures of the paper.
+//
+// # Quick start
+//
+//	g := battsched.NewGraph("T1", 0.1)           // period = deadline = 100 ms
+//	a := g.AddNode("decode", 20e6)               // WCET in cycles at f_max
+//	b := g.AddNode("render", 30e6)
+//	g.AddEdge(a, b)                              // precedence: decode -> render
+//
+//	res, err := battsched.Run(battsched.Config{
+//	    System:      battsched.NewSystem(g),
+//	    DVS:         battsched.NewLAEDF(),
+//	    Priority:    battsched.NewPUBS(),
+//	    ReadyPolicy: battsched.AllReleased,      // BAS-2
+//	    Hyperperiods: 10,
+//	})
+//	if err != nil { ... }
+//
+//	life, err := battsched.BatteryLifetime(battsched.NewKiBaM(), res.Profile)
+//	fmt.Println(res.EnergyBattery, life.LifetimeMinutes(), life.DeliveredMAh())
+package battsched

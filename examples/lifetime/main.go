@@ -1,0 +1,79 @@
+// Lifetime comparison: schedule the same random task-graph workload with the
+// five scheduling schemes of the paper's Table 2 (EDF without DVS, ccEDF,
+// laEDF, BAS-1 and BAS-2) and compare the battery lifetime and charge each
+// scheme extracts from the default 2000 mAh cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"battsched"
+)
+
+func main() {
+	var (
+		graphs      = flag.Int("graphs", 5, "number of random task graphs")
+		utilization = flag.Float64("utilization", 0.85, "worst-case utilisation at f_max")
+		sets        = flag.Int("sets", 5, "number of random workloads to average")
+		seed        = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	proc := battsched.DefaultProcessor()
+	schemes := battsched.PaperSchemes()
+	lifetime := make([]float64, len(schemes))
+	charge := make([]float64, len(schemes))
+	energy := make([]float64, len(schemes))
+
+	for set := 0; set < *sets; set++ {
+		rng := rand.New(rand.NewSource(*seed + int64(set)))
+		sys, err := battsched.GenerateSystem(battsched.DefaultGeneratorConfig(), *graphs, *utilization, proc.FMax(), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range schemes {
+			res, err := battsched.Run(battsched.Config{
+				System:        sys.Clone(),
+				Processor:     proc,
+				DVS:           s.DVS,
+				Priority:      s.Priority,
+				ReadyPolicy:   s.ReadyPolicy,
+				FrequencyMode: battsched.DiscreteFrequency,
+				Execution:     battsched.NewUniformExecution(0.2, 1.0, *seed+int64(set)),
+				Hyperperiods:  4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.DeadlineMisses != 0 {
+				log.Fatalf("%s: %d deadline misses", s.Name, res.DeadlineMisses)
+			}
+			life, err := battsched.BatteryLifetimeOpts(battsched.NewStochasticBattery(), res.Profile,
+				battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lifetime[i] += life.LifetimeMinutes()
+			charge[i] += life.DeliveredMAh()
+			energy[i] += res.EnergyBattery
+		}
+	}
+
+	fmt.Printf("Scheduling schemes on %d random workloads (%d graphs, %.0f%% utilisation, stochastic battery model)\n\n",
+		*sets, *graphs, *utilization*100)
+	fmt.Printf("%-8s %-10s %-10s %-14s %12s %12s %14s\n", "Scheme", "DVS", "Priority", "Ready list", "Life (min)", "Charge(mAh)", "Energy (J)")
+	n := float64(*sets)
+	for i, s := range schemes {
+		fmt.Printf("%-8s %-10s %-10s %-14s %12.1f %12.0f %14.3f\n",
+			s.Name, s.DVS.Name(), s.Priority.Name(), s.ReadyPolicy.String(),
+			lifetime[i]/n, charge[i]/n, energy[i]/n)
+	}
+	base := lifetime[0]
+	fmt.Println()
+	for i, s := range schemes {
+		fmt.Printf("%-8s lifetime improvement over plain EDF: %+.1f%%\n", s.Name, (lifetime[i]/base-1)*100)
+	}
+}

@@ -1,0 +1,184 @@
+// Package battery defines the common interface implemented by all battery
+// models (KiBaM, diffusion, stochastic, Peukert) and the simulation driver
+// that plays a load-current profile against a model until the battery is
+// exhausted, reporting lifetime and delivered charge — the two quantities of
+// the paper's Table 2.
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"battsched/internal/profile"
+)
+
+// Model is a battery whose internal state evolves under a piecewise-constant
+// load current. Implementations are not safe for concurrent use.
+type Model interface {
+	// Name returns a short identifier ("kibam", "diffusion", ...).
+	Name() string
+	// Reset restores the fully-charged initial state.
+	Reset()
+	// Drain applies a constant load of `current` amperes for `dt` seconds.
+	// It returns the time actually sustained before exhaustion (== dt when
+	// the battery survives the whole interval) and whether the battery is
+	// still alive afterwards.
+	Drain(current, dt float64) (sustained float64, alive bool)
+	// MaxCapacity returns the theoretical maximum extractable charge in
+	// coulombs (the charge delivered under an infinitesimal load).
+	MaxCapacity() float64
+	// DeliveredCharge returns the charge delivered since the last Reset, in
+	// coulombs.
+	DeliveredCharge() float64
+}
+
+// Coulombs per milliampere-hour.
+const CoulombsPerMAh = 3.6
+
+// MAh converts coulombs to milliampere-hours.
+func MAh(coulombs float64) float64 { return coulombs / CoulombsPerMAh }
+
+// Coulombs converts milliampere-hours to coulombs.
+func Coulombs(mAh float64) float64 { return mAh * CoulombsPerMAh }
+
+// Result summarises a lifetime simulation.
+type Result struct {
+	// Lifetime is the time until battery exhaustion, in seconds.
+	Lifetime float64
+	// DeliveredCharge is the charge extracted before exhaustion, in coulombs.
+	DeliveredCharge float64
+	// Exhausted reports whether the battery actually died (false when the
+	// simulation hit its horizon first).
+	Exhausted bool
+	// Repetitions is the number of complete profile repetitions sustained.
+	Repetitions int
+}
+
+// LifetimeMinutes returns the lifetime in minutes (the unit of Table 2).
+func (r Result) LifetimeMinutes() float64 { return r.Lifetime / 60 }
+
+// DeliveredMAh returns the delivered charge in mAh (the unit of Table 2).
+func (r Result) DeliveredMAh() float64 { return MAh(r.DeliveredCharge) }
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("Result(lifetime=%.1fmin delivered=%.0fmAh exhausted=%v)",
+		r.LifetimeMinutes(), r.DeliveredMAh(), r.Exhausted)
+}
+
+// Errors returned by the simulation driver.
+var (
+	ErrNilModel   = errors.New("battery: nil model")
+	ErrBadProfile = errors.New("battery: invalid profile")
+	ErrBadHorizon = errors.New("battery: horizon must be positive")
+)
+
+// SimulateOptions tunes SimulateUntilExhausted.
+type SimulateOptions struct {
+	// MaxTime is the simulation horizon in seconds; the run stops there even
+	// if the battery is still alive. Defaults to 48 hours.
+	MaxTime float64
+	// MaxStep subdivides long constant-current segments so that models with
+	// internal time discretisation (the stochastic model) and the exhaustion
+	// detection stay accurate. Defaults to 1 second.
+	MaxStep float64
+}
+
+func (o *SimulateOptions) setDefaults() {
+	if o.MaxTime <= 0 {
+		o.MaxTime = 48 * 3600
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 1.0
+	}
+}
+
+// SimulateUntilExhausted plays the profile periodically (repeating it
+// back-to-back) against the model until the battery is exhausted or the
+// horizon is reached. The model is Reset before the run.
+func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (Result, error) {
+	if m == nil {
+		return Result{}, ErrNilModel
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadProfile, err)
+	}
+	opts.setDefaults()
+	m.Reset()
+
+	var res Result
+	t := 0.0
+	for t < opts.MaxTime {
+		completed := true
+		for _, seg := range p.Segments {
+			remaining := seg.Duration
+			for remaining > 1e-12 {
+				dt := math.Min(remaining, opts.MaxStep)
+				if t+dt > opts.MaxTime {
+					dt = opts.MaxTime - t
+					if dt <= 0 {
+						completed = false
+						break
+					}
+				}
+				sustained, alive := m.Drain(seg.Current, dt)
+				t += sustained
+				remaining -= dt
+				if !alive {
+					res.Lifetime = t
+					res.DeliveredCharge = m.DeliveredCharge()
+					res.Exhausted = true
+					return res, nil
+				}
+			}
+			if !completed {
+				break
+			}
+		}
+		if !completed {
+			break
+		}
+		res.Repetitions++
+	}
+	res.Lifetime = t
+	res.DeliveredCharge = m.DeliveredCharge()
+	res.Exhausted = false
+	return res, nil
+}
+
+// ConstantLoadLifetime returns the lifetime and delivered charge of the model
+// under a constant current (amperes), up to maxTime seconds.
+func ConstantLoadLifetime(m Model, current, maxTime float64) (Result, error) {
+	if maxTime <= 0 {
+		return Result{}, ErrBadHorizon
+	}
+	p := profile.Constant(current, maxTime)
+	return SimulateUntilExhausted(m, p, SimulateOptions{MaxTime: maxTime})
+}
+
+// CurvePoint is one point of a load versus delivered-capacity curve.
+type CurvePoint struct {
+	// Current is the constant load in amperes.
+	Current float64
+	// DeliveredMAh is the charge delivered before exhaustion, in mAh.
+	DeliveredMAh float64
+	// LifetimeMinutes is the corresponding lifetime.
+	LifetimeMinutes float64
+}
+
+// DeliveredCapacityCurve sweeps constant loads and returns the delivered
+// capacity at each, reproducing the battery characterisation curve the paper
+// uses to define maximum capacity (extrapolation to zero load) and available
+// charge (extrapolation to infinite load).
+func DeliveredCapacityCurve(m Model, currents []float64, maxTime float64) ([]CurvePoint, error) {
+	out := make([]CurvePoint, 0, len(currents))
+	for _, c := range currents {
+		r, err := ConstantLoadLifetime(m, c, maxTime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{Current: c, DeliveredMAh: r.DeliveredMAh(), LifetimeMinutes: r.LifetimeMinutes()})
+	}
+	return out, nil
+}

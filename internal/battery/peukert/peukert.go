@@ -1,0 +1,147 @@
+// Package peukert implements a battery model based on Peukert's law, the
+// simple empirical rate-capacity relation used by early battery-aware
+// scheduling work ([7] in the paper). It captures the loss of deliverable
+// capacity at high discharge rates but, unlike KiBaM and the diffusion model,
+// has no recovery effect: it therefore serves as a baseline comparator in the
+// battery-model cross-checks.
+//
+// Under a constant current I the deliverable capacity is
+//
+//	C(I) = C_ref * (I_ref / I)^(k-1)
+//
+// with k >= 1 the Peukert exponent. For time-varying loads the model
+// integrates the rate-weighted consumption (I/I_ref)^(k-1) * I dt and declares
+// the battery exhausted when it reaches C_ref. The delivered charge is capped
+// at the theoretical maximum capacity so that arbitrarily small loads cannot
+// extract more charge than the cell contains.
+package peukert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"battsched/internal/battery"
+)
+
+// Params configure the Peukert model.
+type Params struct {
+	// ReferenceCapacityCoulombs is the capacity C_ref delivered at the
+	// reference current, in coulombs.
+	ReferenceCapacityCoulombs float64
+	// MaxCoulombs is the theoretical maximum capacity (cap on delivered
+	// charge at vanishing loads), in coulombs.
+	MaxCoulombs float64
+	// ReferenceCurrent is I_ref in amperes.
+	ReferenceCurrent float64
+	// Exponent is the Peukert exponent k (>= 1; 1 means an ideal battery up
+	// to MaxCoulombs).
+	Exponent float64
+}
+
+// ErrBadParams is returned by New for invalid parameters.
+var ErrBadParams = errors.New("peukert: invalid parameters")
+
+// Battery is a Peukert's-law battery.
+type Battery struct {
+	params    Params
+	weighted  float64 // rate-weighted consumption in coulombs
+	delivered float64 // actual delivered charge in coulombs
+	alive     bool
+}
+
+// Default returns a Peukert battery calibrated like the paper's cell:
+// 1600 mAh nominal at a 1 A reference current, 2000 mAh maximum, exponent 1.15
+// (typical for NiMH chemistry).
+func Default() *Battery {
+	b, err := New(Params{
+		ReferenceCapacityCoulombs: battery.Coulombs(1600),
+		MaxCoulombs:               battery.Coulombs(2000),
+		ReferenceCurrent:          1.0,
+		Exponent:                  1.15,
+	})
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return b
+}
+
+// New returns a fully charged Peukert battery.
+func New(p Params) (*Battery, error) {
+	if p.ReferenceCapacityCoulombs <= 0 || p.MaxCoulombs < p.ReferenceCapacityCoulombs ||
+		p.ReferenceCurrent <= 0 || p.Exponent < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
+	}
+	b := &Battery{params: p}
+	b.Reset()
+	return b, nil
+}
+
+// Name implements battery.Model.
+func (b *Battery) Name() string { return "peukert" }
+
+// Params returns the model parameters.
+func (b *Battery) Params() Params { return b.params }
+
+// Reset implements battery.Model.
+func (b *Battery) Reset() {
+	b.weighted = 0
+	b.delivered = 0
+	b.alive = true
+}
+
+// MaxCapacity implements battery.Model.
+func (b *Battery) MaxCapacity() float64 { return b.params.MaxCoulombs }
+
+// DeliveredCharge implements battery.Model.
+func (b *Battery) DeliveredCharge() float64 { return b.delivered }
+
+// Drain implements battery.Model.
+func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
+	if !b.alive {
+		return 0, false
+	}
+	if dt <= 0 {
+		return 0, true
+	}
+	if current < 0 {
+		current = 0
+	}
+	weightRate := 0.0
+	if current > 0 {
+		weightRate = math.Pow(current/b.params.ReferenceCurrent, b.params.Exponent-1) * current
+	}
+	// Time until either the rate-weighted budget or the absolute maximum
+	// capacity is exhausted.
+	tWeighted := math.Inf(1)
+	if weightRate > 0 {
+		tWeighted = (b.params.ReferenceCapacityCoulombs - b.weighted) / weightRate
+	}
+	tAbsolute := math.Inf(1)
+	if current > 0 {
+		tAbsolute = (b.params.MaxCoulombs - b.delivered) / current
+	}
+	tDeath := math.Min(tWeighted, tAbsolute)
+	if tDeath > dt {
+		b.weighted += weightRate * dt
+		b.delivered += current * dt
+		return dt, true
+	}
+	if tDeath < 0 {
+		tDeath = 0
+	}
+	b.weighted += weightRate * tDeath
+	b.delivered += current * tDeath
+	b.alive = false
+	return tDeath, false
+}
+
+// String implements fmt.Stringer.
+func (b *Battery) String() string {
+	return fmt.Sprintf("Peukert(k=%.2f Cref=%.0fmAh max=%.0fmAh delivered=%.0fmAh)",
+		b.params.Exponent, battery.MAh(b.params.ReferenceCapacityCoulombs),
+		battery.MAh(b.params.MaxCoulombs), battery.MAh(b.delivered))
+}
+
+// compile-time interface check
+var _ battery.Model = (*Battery)(nil)

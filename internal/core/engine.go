@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"battsched/internal/dvs"
+	"battsched/internal/priority"
+	"battsched/internal/processor"
+	"battsched/internal/profile"
+	"battsched/internal/taskgraph"
+	"battsched/internal/trace"
+)
+
+// timeEpsilon absorbs floating-point noise when comparing simulation times.
+const timeEpsilon = 1e-12
+
+// cycleEpsilon is the threshold below which remaining cycles count as zero.
+const cycleEpsilon = 1e-6
+
+// Run executes one scheduling simulation described by cfg and returns its
+// Result. It is the main entry point of the package.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg.withDefaults())
+	return e.run(), nil
+}
+
+// nodeState tracks one node of one released instance.
+type nodeState struct {
+	wcet      float64 // full worst-case cycles
+	actual    float64 // drawn actual cycles for this instance
+	executed  float64 // cycles executed so far
+	predsLeft int
+	done      bool
+}
+
+func (n *nodeState) wcRemaining() float64 {
+	r := n.wcet - n.executed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (n *nodeState) acRemaining() float64 {
+	r := n.actual - n.executed
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// instance is one released job of a task graph.
+type instance struct {
+	graphIndex int
+	jobIndex   int
+	release    float64
+	deadline   float64
+	nodes      []nodeState
+	remaining  int     // nodes not yet done
+	adjustedWC float64 // the paper's WC_i
+	missed     bool
+}
+
+// view summarises the instance for the DVS algorithm and feasibility check.
+func (in *instance) view(g *taskgraph.Graph) dvs.InstanceView {
+	var rem float64
+	for i := range in.nodes {
+		if !in.nodes[i].done {
+			rem += in.nodes[i].wcRemaining()
+		}
+	}
+	return dvs.InstanceView{
+		GraphIndex:         in.graphIndex,
+		ReleaseTime:        in.release,
+		AbsoluteDeadline:   in.deadline,
+		Period:             g.Period,
+		TotalWCET:          g.TotalWCET(),
+		AdjustedWCET:       in.adjustedWC,
+		RemainingWorstCase: rem,
+	}
+}
+
+// candidateRef pairs a priority.Candidate with the instance/node it refers to.
+type candidateRef struct {
+	cand     priority.Candidate
+	inst     *instance
+	value    float64
+	imminent bool // true when the candidate belongs to the earliest-deadline incomplete instance
+}
+
+// engine is the simulation state.
+type engine struct {
+	cfg   Config
+	sys   *taskgraph.System
+	fmax  float64
+	rng   *rand.Rand
+	horiz float64
+
+	now         float64
+	nextRelease []float64
+	jobCounter  []int
+	released    []*instance
+
+	prof  *profile.Profile
+	tr    *trace.Trace
+	res   *Result
+	gstat *graphStatsCollector
+
+	lastRunning *instance
+	lastNode    int
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:         cfg,
+		sys:         cfg.System,
+		fmax:        cfg.Processor.FMax(),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		horiz:       cfg.horizon(),
+		nextRelease: make([]float64, cfg.System.NumGraphs()),
+		jobCounter:  make([]int, cfg.System.NumGraphs()),
+		prof:        profile.New(),
+		tr:          trace.New(),
+		res:         &Result{},
+		lastRunning: nil,
+		lastNode:    -1,
+	}
+	names := make([]string, cfg.System.NumGraphs())
+	for i, g := range cfg.System.Graphs {
+		names[i] = graphLabel(g, i)
+	}
+	e.gstat = newGraphStatsCollector(names)
+	return e
+}
+
+// run executes the simulation until the horizon is reached and every released
+// instance has completed.
+func (e *engine) run() *Result {
+	for {
+		e.releaseDue()
+		e.recordMisses()
+		e.dropCompleted()
+
+		if e.now >= e.horiz-timeEpsilon && !e.hasPendingWork() {
+			break
+		}
+
+		views := e.views()
+		fref := e.cfg.DVS.SelectFrequency(e.now, e.fmax, views)
+		effFreq, segments := e.realize(fref)
+
+		cands := e.candidates(views, effFreq)
+		e.res.SchedulingDecisions++
+		if len(cands) == 0 {
+			// Idle until the next release (or the horizon, whichever is
+			// later if no releases remain).
+			next := e.nextEvent()
+			if next <= e.now+timeEpsilon {
+				// No future release and nothing to run: we are done.
+				break
+			}
+			e.idle(next - e.now)
+			continue
+		}
+
+		chosen := e.choose(cands, views, effFreq)
+		e.execute(chosen, effFreq, segments)
+	}
+
+	e.finalize()
+	return e.res
+}
+
+// releaseDue creates instances for every graph whose next release time has
+// arrived (and lies before the horizon).
+func (e *engine) releaseDue() {
+	for gi, g := range e.sys.Graphs {
+		for e.nextRelease[gi] <= e.now+timeEpsilon && e.nextRelease[gi] < e.horiz-timeEpsilon {
+			e.release(gi, g, e.nextRelease[gi])
+			e.nextRelease[gi] += g.Period
+		}
+	}
+}
+
+func (e *engine) release(gi int, g *taskgraph.Graph, at float64) {
+	in := &instance{
+		graphIndex: gi,
+		jobIndex:   e.jobCounter[gi],
+		release:    at,
+		deadline:   at + g.Period,
+		nodes:      make([]nodeState, g.NumNodes()),
+		remaining:  g.NumNodes(),
+		adjustedWC: g.TotalWCET(),
+	}
+	e.jobCounter[gi]++
+	for i := range in.nodes {
+		id := taskgraph.NodeID(i)
+		in.nodes[i] = nodeState{
+			wcet:      g.Nodes[i].WCET,
+			actual:    e.cfg.Execution.Actual(g, id),
+			predsLeft: len(g.Predecessors(id)),
+		}
+		if in.nodes[i].actual > in.nodes[i].wcet {
+			in.nodes[i].actual = in.nodes[i].wcet
+		}
+		if in.nodes[i].actual <= 0 {
+			in.nodes[i].actual = cycleEpsilon
+		}
+	}
+	e.released = append(e.released, in)
+	e.res.JobsReleased++
+	e.gstat.released(gi)
+}
+
+// recordMisses flags instances whose deadline passed while work remains.
+func (e *engine) recordMisses() {
+	for _, in := range e.released {
+		if !in.missed && in.remaining > 0 && in.deadline < e.now-timeEpsilon {
+			in.missed = true
+			e.res.DeadlineMisses++
+			e.gstat.missedWithoutCompletion(in.graphIndex)
+		}
+	}
+}
+
+// dropCompleted removes finished instances from the released list — but only
+// once their deadline (equal to the next release of the same graph) has
+// passed. Keeping completed instances visible until then implements the
+// paper's rule that WC_i reflects the actual computations "as long as the new
+// instance of the taskgraph Ti is not released", which is also what keeps the
+// ccEDF/laEDF utilisation accounting (and hence the deadline guarantee)
+// intact.
+func (e *engine) dropCompleted() {
+	out := e.released[:0]
+	for _, in := range e.released {
+		if in.remaining > 0 || in.deadline > e.now+timeEpsilon {
+			out = append(out, in)
+		}
+	}
+	e.released = out
+}
+
+// hasPendingWork reports whether any released instance still has unfinished
+// nodes.
+func (e *engine) hasPendingWork() bool {
+	for _, in := range e.released {
+		if in.remaining > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// views returns the InstanceViews of all released incomplete instances in EDF
+// order (earliest absolute deadline first, ties broken by release time and
+// graph index so the order is total and deterministic).
+func (e *engine) views() []dvs.InstanceView {
+	sort.SliceStable(e.released, func(i, j int) bool {
+		a, b := e.released[i], e.released[j]
+		if a.deadline != b.deadline {
+			return a.deadline < b.deadline
+		}
+		if a.release != b.release {
+			return a.release < b.release
+		}
+		return a.graphIndex < b.graphIndex
+	})
+	views := make([]dvs.InstanceView, len(e.released))
+	for i, in := range e.released {
+		views[i] = in.view(e.sys.Graphs[in.graphIndex])
+	}
+	return views
+}
+
+// realize maps fref onto the processor: the effective execution frequency and
+// the constant-current segments (share of the interval, frequency, battery
+// current) used for profile/trace generation.
+type freqSegment struct {
+	share     float64
+	frequency float64
+	current   float64
+}
+
+func (e *engine) realize(fref float64) (float64, []freqSegment) {
+	p := e.cfg.Processor
+	if e.cfg.FrequencyMode == DiscreteFrequency || e.cfg.FrequencyMode == DiscreteCeilFrequency {
+		var r processor.Realization
+		if e.cfg.FrequencyMode == DiscreteCeilFrequency {
+			r = p.RealizeCeil(fref)
+		} else {
+			r = p.Realize(fref)
+		}
+		segs := make([]freqSegment, 0, len(r.Segments))
+		for _, s := range r.Segments {
+			if s.Share <= 0 {
+				continue
+			}
+			segs = append(segs, freqSegment{
+				share:     s.Share,
+				frequency: s.Point.Frequency,
+				current:   p.BatteryCurrentAtPoint(s.Point) + p.IdleCurrent,
+			})
+		}
+		return r.EffectiveFrequency(), segs
+	}
+	// Continuous mode: the idealised processor runs exactly at fref (only the
+	// upper bound fmax applies) and draws the cubic-law battery current the
+	// paper's energy analysis assumes.
+	f := fref
+	if f > p.FMax() {
+		f = p.FMax()
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f, []freqSegment{{share: 1, frequency: f, current: p.BatteryCurrentIdeal(f) + p.IdleCurrent}}
+}
+
+// candidates builds the ready list according to the configured policy. The
+// released list may contain instances that are already complete (kept for the
+// DVS utilisation accounting until their deadline); they never contribute
+// candidates. The first incomplete instance in EDF order is the "most
+// imminent" one: its candidates are always admissible without a feasibility
+// check, and under the MostImminentOnly policy only its candidates are
+// offered.
+func (e *engine) candidates(views []dvs.InstanceView, effFreq float64) []candidateRef {
+	var out []candidateRef
+	imminentPos := -1
+	for pos, in := range e.released {
+		if in.remaining == 0 {
+			continue
+		}
+		if imminentPos < 0 {
+			imminentPos = pos
+		} else if e.cfg.ReadyPolicy == MostImminentOnly {
+			break
+		}
+		g := e.sys.Graphs[in.graphIndex]
+		for ni := range in.nodes {
+			ns := &in.nodes[ni]
+			if ns.done || ns.predsLeft > 0 {
+				continue
+			}
+			est := e.estimateRemaining(in, ni, ns)
+			out = append(out, candidateRef{
+				inst:     in,
+				imminent: pos == imminentPos,
+				cand: priority.Candidate{
+					GraphIndex:       in.graphIndex,
+					Node:             ni,
+					Name:             g.Nodes[ni].Name,
+					RemainingWCET:    ns.wcRemaining(),
+					EstimatedActual:  est,
+					AbsoluteDeadline: in.deadline,
+					EDFPosition:      pos,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// estimateRemaining returns the X_k estimate for the remaining execution of a
+// node: either the oracle (true actual remaining) or the history estimator's
+// prediction minus what already ran.
+func (e *engine) estimateRemaining(in *instance, ni int, ns *nodeState) float64 {
+	if e.cfg.OracleEstimates {
+		return math.Max(ns.acRemaining(), cycleEpsilon)
+	}
+	est := e.cfg.Estimator.Estimate(in.graphIndex, ni, ns.wcet) - ns.executed
+	if est < cycleEpsilon {
+		est = cycleEpsilon
+	}
+	if est > ns.wcRemaining() {
+		est = math.Max(ns.wcRemaining(), cycleEpsilon)
+	}
+	return est
+}
+
+// choose orders the candidates with the priority function and returns the
+// best feasible one. Candidates of the most imminent task graph are always
+// feasible; under the AllReleased policy out-of-order candidates must pass
+// the feasibility check, and if none passes the best most-imminent candidate
+// is used (which always exists, so deadlines are never at risk).
+func (e *engine) choose(cands []candidateRef, views []dvs.InstanceView, effFreq float64) candidateRef {
+	ctx := &priority.Context{
+		Now:              e.now,
+		CurrentFrequency: effFreq,
+		FMax:             e.fmax,
+		Rand:             e.rng,
+	}
+	if !e.cfg.LocalSpeedModel {
+		ctx.FrequencyAfter = e.frequencyAfter(views, effFreq)
+	}
+	for i := range cands {
+		cands[i].value = e.cfg.Priority.Priority(cands[i].cand, ctx)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.value != b.value {
+			return a.value < b.value
+		}
+		if a.cand.EDFPosition != b.cand.EDFPosition {
+			return a.cand.EDFPosition < b.cand.EDFPosition
+		}
+		return a.cand.Node < b.cand.Node
+	})
+	for _, c := range cands {
+		if c.imminent {
+			return c
+		}
+		if feasible(c.cand.RemainingWCET, c.cand.EDFPosition, views, e.now, effFreq) {
+			e.res.OutOfOrderExecutions++
+			return c
+		}
+		e.res.FeasibilityRejections++
+	}
+	// No out-of-order candidate is feasible: fall back to the best candidate
+	// of the most imminent incomplete instance (EDF order), which is always
+	// safe.
+	for _, c := range cands {
+		if c.imminent {
+			return c
+		}
+	}
+	// Defensive: should be unreachable because the most imminent incomplete
+	// instance always has at least one ready node.
+	return cands[0]
+}
+
+// frequencyAfter returns the closure used by pUBS to evaluate s_{o,k}: the
+// reference frequency the DVS algorithm would select if the candidate
+// completed next after consuming assumedCycles.
+func (e *engine) frequencyAfter(views []dvs.InstanceView, effFreq float64) func(priority.Candidate, float64) float64 {
+	return func(c priority.Candidate, assumedCycles float64) float64 {
+		hyp := append([]dvs.InstanceView(nil), views...)
+		if c.EDFPosition >= 0 && c.EDFPosition < len(hyp) {
+			v := hyp[c.EDFPosition]
+			v.AdjustedWCET = v.AdjustedWCET - c.RemainingWCET + assumedCycles
+			if v.AdjustedWCET < 0 {
+				v.AdjustedWCET = 0
+			}
+			v.RemainingWorstCase -= c.RemainingWCET
+			if v.RemainingWorstCase < 0 {
+				v.RemainingWorstCase = 0
+			}
+			hyp[c.EDFPosition] = v
+		}
+		then := e.now
+		if effFreq > 0 {
+			then += assumedCycles / effFreq
+		}
+		return e.cfg.DVS.SelectFrequency(then, e.fmax, hyp)
+	}
+}
+
+// idle advances time with the processor idle, emitting trace and profile
+// segments at the idle current.
+func (e *engine) idle(dur float64) {
+	if dur <= 0 {
+		return
+	}
+	cur := e.cfg.Processor.IdleCurrent
+	e.prof.Append(dur, cur)
+	e.tr.Append(trace.Slice{Start: e.now, Duration: dur, Idle: true, Current: cur})
+	e.res.IdleTime += dur
+	e.now += dur
+	e.lastRunning = nil
+	e.lastNode = -1
+}
+
+// nextEvent returns the earliest future release time, or the horizon when no
+// release remains before it.
+func (e *engine) nextEvent() float64 {
+	next := math.Inf(1)
+	for gi := range e.nextRelease {
+		if e.nextRelease[gi] < e.horiz-timeEpsilon && e.nextRelease[gi] < next {
+			next = e.nextRelease[gi]
+		}
+	}
+	if math.IsInf(next, 1) {
+		if e.now < e.horiz {
+			return e.horiz
+		}
+		return e.now
+	}
+	return next
+}
+
+// execute runs the chosen candidate until it completes or the next release
+// arrives, whichever comes first, then processes the completion if any.
+func (e *engine) execute(c candidateRef, effFreq float64, segments []freqSegment) {
+	in := c.inst
+	ns := &in.nodes[c.cand.Node]
+	g := e.sys.Graphs[in.graphIndex]
+
+	if e.lastRunning != nil && (e.lastRunning != in || e.lastNode != c.cand.Node) {
+		// The previously running node was set aside while unfinished.
+		if !e.lastRunning.nodes[e.lastNode].done {
+			e.res.Preemptions++
+		}
+	}
+	e.lastRunning = in
+	e.lastNode = c.cand.Node
+
+	if effFreq <= 0 {
+		effFreq = e.cfg.Processor.FMin()
+	}
+	timeToFinish := ns.acRemaining() / effFreq
+	nextRel := e.nextEvent()
+	dur := timeToFinish
+	completes := true
+	if nextRel > e.now+timeEpsilon && nextRel-e.now < dur-timeEpsilon {
+		dur = nextRel - e.now
+		completes = false
+	}
+	if dur <= 0 {
+		dur = timeEpsilon
+	}
+
+	cycles := effFreq * dur
+	if completes {
+		cycles = ns.acRemaining()
+	}
+
+	// Emit the trace and profile segments (higher-frequency portion first so
+	// the within-interval current profile is non-increasing).
+	label := g.Nodes[c.cand.Node].Name
+	if label == "" {
+		label = fmt.Sprintf("%s.n%d", graphLabel(g, in.graphIndex), c.cand.Node)
+	}
+	start := e.now
+	for _, seg := range segments {
+		d := dur * seg.share
+		if d <= 0 {
+			continue
+		}
+		e.prof.Append(d, seg.current)
+		e.tr.Append(trace.Slice{
+			Start:      start,
+			Duration:   d,
+			GraphIndex: in.graphIndex,
+			Node:       c.cand.Node,
+			Label:      label,
+			Instance:   in.jobIndex,
+			Frequency:  seg.frequency,
+			Current:    seg.current,
+		})
+		start += d
+	}
+
+	ns.executed += cycles
+	e.res.BusyTime += dur
+	e.res.ExecutedCycles += cycles
+	e.now += dur
+
+	if completes || ns.acRemaining() <= cycleEpsilon {
+		e.completeNode(in, c.cand.Node, ns, g)
+	}
+}
+
+// completeNode finishes a node: updates WC_i with the actual requirement
+// (the paper's endofnode handler), releases successors and retires the
+// instance when its last node finishes.
+func (e *engine) completeNode(in *instance, nodeIdx int, ns *nodeState, g *taskgraph.Graph) {
+	ns.done = true
+	ns.executed = ns.actual
+	in.remaining--
+	in.adjustedWC += ns.actual - ns.wcet
+	if in.adjustedWC < 0 {
+		in.adjustedWC = 0
+	}
+	e.cfg.Estimator.Observe(in.graphIndex, nodeIdx, ns.wcet, ns.actual)
+	for _, s := range g.Successors(taskgraph.NodeID(nodeIdx)) {
+		in.nodes[s].predsLeft--
+	}
+	e.res.NodesCompleted++
+	e.lastRunning = nil
+	e.lastNode = -1
+	if in.remaining == 0 {
+		e.res.JobsCompleted++
+		newlyMissed := false
+		if !in.missed && in.deadline < e.now-1e-9 {
+			in.missed = true
+			e.res.DeadlineMisses++
+			newlyMissed = true
+		}
+		e.gstat.completed(in.graphIndex, e.now-in.release, in.deadline-e.now, newlyMissed)
+	}
+}
+
+// finalize fills the derived fields of the Result.
+func (e *engine) finalize() {
+	e.res.Profile = e.prof
+	e.res.Trace = e.tr
+	e.res.Horizon = e.now
+	vbat := e.cfg.Processor.BatteryVoltage
+	e.res.EnergyBattery = e.prof.Charge() * vbat
+	e.res.EnergyProcessor = e.res.EnergyBattery * e.cfg.Processor.ConverterEfficiency
+	if e.res.BusyTime > 0 {
+		e.res.AverageFrequency = e.res.ExecutedCycles / e.res.BusyTime
+	}
+	e.res.PerGraph = e.gstat.finalize()
+}
+
+// graphLabel returns the graph's name or a positional fallback.
+func graphLabel(g *taskgraph.Graph, index int) string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return fmt.Sprintf("T%d", index+1)
+}

@@ -1,0 +1,37 @@
+package core
+
+import "battsched/internal/dvs"
+
+// feasibilityEpsilonCycles absorbs floating-point noise when comparing
+// remaining work against available capacity.
+const feasibilityEpsilonCycles = 1e-6
+
+// feasible implements the paper's Algorithm 2 (feasibility check) in its
+// cumulative form: executing a candidate node of worst-case size wcCycles
+// that belongs to the task graph at position edfPosition (0-based, EDF order)
+// is allowed only if, for every earlier-deadline instance j < edfPosition,
+// the total worst-case work of instances 0..j plus the candidate's own
+// worst-case work can be completed before instance j's deadline when running
+// at the reference frequency fref.
+//
+// views must be sorted by absolute deadline (earliest first); now is the
+// current time in seconds; fref is in Hz. A candidate of the most imminent
+// instance (edfPosition == 0) is always feasible, exactly as the paper notes
+// ("no checks are required").
+func feasible(wcCycles float64, edfPosition int, views []dvs.InstanceView, now, fref float64) bool {
+	if edfPosition <= 0 {
+		return true
+	}
+	if fref <= 0 {
+		return false
+	}
+	sumWC := 0.0
+	for j := 0; j < edfPosition && j < len(views); j++ {
+		sumWC += views[j].RemainingWorstCase
+		capacity := fref * (views[j].AbsoluteDeadline - now)
+		if sumWC+wcCycles > capacity+feasibilityEpsilonCycles {
+			return false
+		}
+	}
+	return true
+}

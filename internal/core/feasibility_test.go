@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"battsched/internal/dvs"
+)
+
+func feasViews() []dvs.InstanceView {
+	// Three released instances in EDF order at t=0: deadlines 10, 20, 40 s
+	// with remaining worst-case work 4e9, 6e9 and 10e9 cycles.
+	return []dvs.InstanceView{
+		{AbsoluteDeadline: 10, RemainingWorstCase: 4e9},
+		{AbsoluteDeadline: 20, RemainingWorstCase: 6e9},
+		{AbsoluteDeadline: 40, RemainingWorstCase: 10e9},
+	}
+}
+
+func TestMostImminentAlwaysFeasible(t *testing.T) {
+	if !feasible(1e12, 0, feasViews(), 0, 1e9) {
+		t.Fatal("candidates of the most imminent instance must never be rejected")
+	}
+	if !feasible(1e12, -1, nil, 0, 0) {
+		t.Fatal("negative EDF position must be treated as most imminent")
+	}
+}
+
+func TestFeasibilityAcceptsWhenSlackSuffices(t *testing.T) {
+	// Candidate of the 2nd instance (position 1), wc = 5e9 cycles, fref = 1 GHz.
+	// Check for j=0: 4e9 + 5e9 = 9e9 <= 1e9*10 = 10e9. Feasible.
+	if !feasible(5e9, 1, feasViews(), 0, 1e9) {
+		t.Fatal("expected feasible")
+	}
+}
+
+func TestFeasibilityRejectsWhenDeadlineWouldBeJeopardised(t *testing.T) {
+	// wc = 7e9: 4e9 + 7e9 = 11e9 > 10e9 capacity before the first deadline.
+	if feasible(7e9, 1, feasViews(), 0, 1e9) {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestFeasibilityChecksAllEarlierDeadlinesCumulatively(t *testing.T) {
+	// Candidate from the 3rd instance (position 2), wc = 5e9, fref = 1 GHz:
+	//   j=0: 4e9 + 5e9 = 9e9  <= 10e9  OK
+	//   j=1: 4e9 + 6e9 + 5e9 = 15e9 <= 20e9 OK
+	if !feasible(5e9, 2, feasViews(), 0, 1e9) {
+		t.Fatal("expected feasible at position 2")
+	}
+	// wc = 11e9 passes j=0? 4e9+11e9 = 15e9 > 10e9 -> rejected at the first
+	// check already.
+	if feasible(11e9, 2, feasViews(), 0, 1e9) {
+		t.Fatal("expected infeasible (first deadline)")
+	}
+	// wc = 6e9 passes j=0 (10e9 <= 10e9) but fails j=1 only if cumulative
+	// work exceeds capacity: 4+6+6=16e9 <= 20e9, so still feasible.
+	if !feasible(6e9, 2, feasViews(), 0, 1e9) {
+		t.Fatal("expected feasible (cumulative fits)")
+	}
+}
+
+func TestFeasibilityDependsOnFrequencyAndTime(t *testing.T) {
+	// At half frequency the same candidate becomes infeasible.
+	if feasible(5e9, 1, feasViews(), 0, 0.5e9) {
+		t.Fatal("expected infeasible at half frequency")
+	}
+	// Later in time the remaining capacity shrinks.
+	if feasible(5e9, 1, feasViews(), 5, 1e9) {
+		t.Fatal("expected infeasible at t=5")
+	}
+	// Zero or negative frequency can never accommodate out-of-order work.
+	if feasible(1, 1, feasViews(), 0, 0) {
+		t.Fatal("expected infeasible at fref=0")
+	}
+}
+
+func TestFeasibilityPositionBeyondViews(t *testing.T) {
+	// A position larger than the number of views only checks the views that
+	// exist (defensive behaviour).
+	if !feasible(1e9, 5, feasViews(), 0, 1e9) {
+		t.Fatal("expected feasible with clamped position")
+	}
+}

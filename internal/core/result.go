@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"battsched/internal/profile"
+	"battsched/internal/trace"
+)
+
+// Result summarises one scheduling simulation.
+type Result struct {
+	// Profile is the battery load-current profile of the simulated horizon.
+	Profile *profile.Profile
+	// Trace is the execution trace (which node ran when, at which frequency).
+	Trace *trace.Trace
+	// Horizon is the simulated duration in seconds (it may exceed the
+	// configured horizon slightly if work released before the horizon needed
+	// to finish).
+	Horizon float64
+	// EnergyBattery is the energy drawn from the battery in joules.
+	EnergyBattery float64
+	// EnergyProcessor is the energy delivered to the processor core in
+	// joules (EnergyBattery times the converter efficiency).
+	EnergyProcessor float64
+	// DeadlineMisses counts task-graph instances that were not complete at
+	// their absolute deadline. It is zero for every configuration the paper
+	// considers; a non-zero value indicates a mis-configured workload
+	// (utilisation above 1) or a scheduler bug.
+	DeadlineMisses int
+	// JobsReleased and JobsCompleted count task-graph instances.
+	JobsReleased  int
+	JobsCompleted int
+	// NodesCompleted counts completed node executions.
+	NodesCompleted int
+	// BusyTime and IdleTime partition the horizon.
+	BusyTime float64
+	IdleTime float64
+	// ExecutedCycles is the total number of processor cycles executed.
+	ExecutedCycles float64
+	// AverageFrequency is ExecutedCycles/BusyTime (0 if never busy).
+	AverageFrequency float64
+	// Preemptions counts times a partially executed node was set aside for a
+	// different node.
+	Preemptions int
+	// OutOfOrderExecutions counts times the scheduler picked a candidate from
+	// a task graph other than the most imminent one (BAS-2 only).
+	OutOfOrderExecutions int
+	// FeasibilityRejections counts candidates rejected by the feasibility
+	// check (BAS-2 only).
+	FeasibilityRejections int
+	// SchedulingDecisions counts ready-list evaluations.
+	SchedulingDecisions int
+	// PerGraph holds per-task-graph response-time and miss statistics.
+	PerGraph []GraphStats
+}
+
+// Utilization returns BusyTime/Horizon.
+func (r Result) Utilization() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return r.BusyTime / r.Horizon
+}
+
+// AveragePower returns the average battery-side power in watts.
+func (r Result) AveragePower() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return r.EnergyBattery / r.Horizon
+}
+
+// EnergyPerCycle returns battery energy per executed cycle in joules (0 if no
+// cycles executed).
+func (r Result) EnergyPerCycle() float64 {
+	if r.ExecutedCycles <= 0 {
+		return 0
+	}
+	return r.EnergyBattery / r.ExecutedCycles
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("Result(horizon=%.4gs energy=%.4gJ misses=%d jobs=%d/%d busy=%.3g idle=%.3g preempt=%d)",
+		r.Horizon, r.EnergyBattery, r.DeadlineMisses, r.JobsCompleted, r.JobsReleased, r.BusyTime, r.IdleTime, r.Preemptions)
+}

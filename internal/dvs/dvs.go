@@ -1,0 +1,196 @@
+// Package dvs implements the dynamic voltage/frequency-setting algorithms the
+// paper builds on: the cycle-conserving (ccEDF) and look-ahead (laEDF)
+// real-time DVS algorithms of Pillai and Shin, extended to periodic task
+// graphs as described in Section 4.1 of the paper, plus a no-DVS baseline
+// that always runs at the maximum frequency.
+//
+// A frequency-setting algorithm sees, at every scheduling decision point, a
+// summary of all released-but-unfinished task-graph instances (InstanceView)
+// and returns the reference frequency fref that guarantees every subsequent
+// deadline. The scheduler in internal/core invokes it on every task-graph
+// release and on every node completion, exactly as in the paper's Algorithm 1.
+package dvs
+
+import "sort"
+
+// InstanceView is the scheduler's summary of one released, incomplete
+// task-graph instance, in EDF order (earliest absolute deadline first).
+type InstanceView struct {
+	// GraphIndex identifies the task graph within the system.
+	GraphIndex int
+	// ReleaseTime is the absolute release time of this instance in seconds.
+	ReleaseTime float64
+	// AbsoluteDeadline is the absolute deadline (release + period) in seconds.
+	AbsoluteDeadline float64
+	// Period is the graph period (= relative deadline) in seconds.
+	Period float64
+	// TotalWCET is the static worst-case work of the whole graph in cycles.
+	TotalWCET float64
+	// AdjustedWCET is the paper's WC_i: the sum of the actual cycles of the
+	// nodes of this instance that have already completed plus the worst-case
+	// cycles of the nodes that have not, in cycles.
+	AdjustedWCET float64
+	// RemainingWorstCase is the worst-case work still to be executed for this
+	// instance (unfinished nodes at their WCET, minus cycles already executed
+	// of the in-progress node), in cycles.
+	RemainingWorstCase float64
+}
+
+// Algorithm selects the reference frequency at a scheduling decision point.
+type Algorithm interface {
+	// Name returns a short identifier ("ccEDF", "laEDF", "noDVS").
+	Name() string
+	// SelectFrequency returns the reference frequency fref in Hz given the
+	// current time, the maximum processor frequency and the views of all
+	// released incomplete instances. The result is always in [0, fmax]; 0
+	// means the processor may idle. Implementations must not retain or
+	// modify the slice.
+	SelectFrequency(now, fmax float64, instances []InstanceView) float64
+}
+
+// sortEDF returns the instances sorted by absolute deadline (stable, earliest
+// first) without modifying the input.
+func sortEDF(instances []InstanceView) []InstanceView {
+	out := append([]InstanceView(nil), instances...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AbsoluteDeadline < out[j].AbsoluteDeadline })
+	return out
+}
+
+// clampFrequency limits f to [0, fmax].
+func clampFrequency(f, fmax float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > fmax {
+		return fmax
+	}
+	return f
+}
+
+// NoDVS is the baseline that never scales: the processor always runs at fmax
+// while there is pending work (the "EDF, no DVS" row of the paper's Table 2).
+type NoDVS struct{}
+
+// NewNoDVS returns the no-DVS baseline.
+func NewNoDVS() NoDVS { return NoDVS{} }
+
+// Name implements Algorithm.
+func (NoDVS) Name() string { return "noDVS" }
+
+// SelectFrequency implements Algorithm.
+func (NoDVS) SelectFrequency(now, fmax float64, instances []InstanceView) float64 {
+	if len(instances) == 0 {
+		return 0
+	}
+	return fmax
+}
+
+// Static runs at a fixed utilisation-derived frequency: fref = U * fmax with
+// U the static worst-case utilisation of the released instances' graphs. It
+// corresponds to the classic "static voltage scaling" RT-DVS variant and is
+// useful as an additional baseline in ablations.
+type Static struct{}
+
+// NewStatic returns the static-scaling baseline.
+func NewStatic() Static { return Static{} }
+
+// Name implements Algorithm.
+func (Static) Name() string { return "staticEDF" }
+
+// SelectFrequency implements Algorithm.
+func (Static) SelectFrequency(now, fmax float64, instances []InstanceView) float64 {
+	if len(instances) == 0 || fmax <= 0 {
+		return 0
+	}
+	var u float64
+	for _, in := range instances {
+		if in.Period > 0 {
+			u += in.TotalWCET / (fmax * in.Period)
+		}
+	}
+	return clampFrequency(u*fmax, fmax)
+}
+
+// CCEDF is the cycle-conserving EDF DVS algorithm of Pillai and Shin,
+// extended to task graphs (the paper's Algorithm 1): the utilisation is the
+// sum over released graphs of WC_i/D_i where WC_i counts completed nodes at
+// their actual cycles and pending nodes at their worst case; fref = U * fmax.
+type CCEDF struct{}
+
+// NewCCEDF returns the cycle-conserving EDF frequency setter.
+func NewCCEDF() CCEDF { return CCEDF{} }
+
+// Name implements Algorithm.
+func (CCEDF) Name() string { return "ccEDF" }
+
+// SelectFrequency implements Algorithm.
+func (CCEDF) SelectFrequency(now, fmax float64, instances []InstanceView) float64 {
+	if len(instances) == 0 || fmax <= 0 {
+		return 0
+	}
+	var u float64
+	for _, in := range instances {
+		if in.Period > 0 {
+			u += in.AdjustedWCET / (fmax * in.Period)
+		}
+	}
+	return clampFrequency(u*fmax, fmax)
+}
+
+// LAEDF is the look-ahead EDF DVS algorithm of Pillai and Shin extended to
+// task graphs: it estimates the minimum amount of work that must be completed
+// before the earliest deadline so that all later deadlines can still be met
+// at full speed, and runs just fast enough to finish that work in time. It is
+// more aggressive than CCEDF (runs slower earlier) while still guaranteeing
+// all deadlines.
+type LAEDF struct{}
+
+// NewLAEDF returns the look-ahead EDF frequency setter.
+func NewLAEDF() LAEDF { return LAEDF{} }
+
+// Name implements Algorithm.
+func (LAEDF) Name() string { return "laEDF" }
+
+// SelectFrequency implements Algorithm.
+func (LAEDF) SelectFrequency(now, fmax float64, instances []InstanceView) float64 {
+	if len(instances) == 0 || fmax <= 0 {
+		return 0
+	}
+	inst := sortEDF(instances)
+	dn := inst[0].AbsoluteDeadline
+	if dn <= now {
+		// The earliest deadline is (numerically) immediate: run flat out.
+		return fmax
+	}
+	// Work in normalised "seconds at fmax" units.
+	var u float64
+	for _, in := range inst {
+		if in.Period > 0 {
+			u += in.TotalWCET / (fmax * in.Period)
+		}
+	}
+	s := 0.0
+	// Latest deadline first.
+	for i := len(inst) - 1; i >= 0; i-- {
+		in := inst[i]
+		cLeft := in.RemainingWorstCase / fmax
+		if in.Period > 0 {
+			u -= in.TotalWCET / (fmax * in.Period)
+		}
+		slack := in.AbsoluteDeadline - dn
+		var x float64
+		if slack <= 0 {
+			// The instance with the earliest deadline: all of its remaining
+			// work must be done before dn.
+			x = cLeft
+		} else {
+			x = cLeft - (1-u)*slack
+			if x < 0 {
+				x = 0
+			}
+			u += (cLeft - x) / slack
+		}
+		s += x
+	}
+	return clampFrequency(s/(dn-now)*fmax, fmax)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"battsched/internal/core"
+	"battsched/internal/dvs"
+	"battsched/internal/priority"
+	"battsched/internal/stats"
+	"battsched/internal/taskgraph"
+	"battsched/internal/tgff"
+)
+
+// EstimateAblationConfig parameterises the estimate-quality ablation: the
+// paper notes that pUBS is near optimal when the X_k estimates are accurate
+// and degrades toward a random schedule when they are not. This experiment
+// quantifies that by running the BAS-2 scheme with different estimators and
+// comparing the energy against the random-ordering baseline.
+type EstimateAblationConfig struct {
+	// Sets is the number of random task-graph sets averaged.
+	Sets int
+	// GraphsPerSet is the number of task graphs per set.
+	GraphsPerSet int
+	// Utilization is the worst-case utilisation of each set.
+	Utilization float64
+	// Hyperperiods simulated per set (more hyperperiods give the history
+	// estimator more instances to learn from).
+	Hyperperiods int
+	// Seed makes the experiment reproducible.
+	Seed int64
+}
+
+// DefaultEstimateAblationConfig returns the default ablation configuration.
+func DefaultEstimateAblationConfig() EstimateAblationConfig {
+	return EstimateAblationConfig{Sets: 20, GraphsPerSet: 4, Utilization: 0.7, Hyperperiods: 4, Seed: 1}
+}
+
+// QuickEstimateAblationConfig returns a reduced configuration for benchmarks.
+func QuickEstimateAblationConfig() EstimateAblationConfig {
+	return EstimateAblationConfig{Sets: 4, GraphsPerSet: 3, Utilization: 0.7, Hyperperiods: 2, Seed: 1}
+}
+
+// EstimateAblationRow reports one estimator variant.
+type EstimateAblationRow struct {
+	// Estimator is the variant label.
+	Estimator string
+	// EnergyVsRandom is the mean battery energy normalised by the
+	// random-ordering baseline on the same workload (< 1 means the pUBS
+	// ordering with this estimator beats random ordering).
+	EnergyVsRandom float64
+	// Samples is the number of task-graph sets averaged.
+	Samples int
+}
+
+// RunEstimateAblation runs the estimate-quality ablation: BAS-2 (ccEDF + pUBS
+// over all released graphs, the configuration in which ordering effects are
+// fully visible) with a perfect oracle, a history estimator and a pessimistic
+// fixed estimator, each normalised by random ordering on the same workload.
+func RunEstimateAblation(cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
+	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.Hyperperiods <= 0 {
+		cfg.Hyperperiods = 1
+	}
+	proc := defaultProcessor()
+
+	type variant struct {
+		name      string
+		oracle    bool
+		estimator func() priority.Estimator
+	}
+	variants := []variant{
+		{"oracle (exact actuals)", true, nil},
+		{"history (EWMA of past instances)", false, func() priority.Estimator { return priority.NewHistoryEstimator(0.5) }},
+		{"pessimistic (X_k = WCET)", false, func() priority.Estimator { return priority.OracleEstimator{Fraction: 1} }},
+	}
+	accs := make([]stats.Accumulator, len(variants))
+
+	for set := 0; set < cfg.Sets; set++ {
+		seed := cfg.Seed + int64(set)
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
+		if err != nil {
+			return nil, err
+		}
+		runOne := func(prio priority.Function, oracle bool, est priority.Estimator) (*core.Result, error) {
+			return core.Run(core.Config{
+				System:          sys.Clone(),
+				Processor:       proc,
+				DVS:             dvs.NewCCEDF(),
+				Priority:        prio,
+				ReadyPolicy:     core.AllReleased,
+				FrequencyMode:   core.ContinuousFrequency,
+				OracleEstimates: oracle,
+				Estimator:       est,
+				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
+				Hyperperiods:    cfg.Hyperperiods,
+				Seed:            seed,
+			})
+		}
+		baseline, err := runOne(priority.NewRandom(), false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if baseline.EnergyBattery <= 0 {
+			continue
+		}
+		for i, v := range variants {
+			var est priority.Estimator
+			if v.estimator != nil {
+				est = v.estimator()
+			}
+			res, err := runOne(priority.NewPUBS(), v.oracle, est)
+			if err != nil {
+				return nil, err
+			}
+			if res.DeadlineMisses > 0 {
+				return nil, fmt.Errorf("experiments: ablation variant %q missed %d deadlines", v.name, res.DeadlineMisses)
+			}
+			accs[i].Add(res.EnergyBattery / baseline.EnergyBattery)
+		}
+	}
+
+	rows := make([]EstimateAblationRow, len(variants))
+	for i, v := range variants {
+		rows[i] = EstimateAblationRow{Estimator: v.name, EnergyVsRandom: accs[i].Mean(), Samples: accs[i].N()}
+	}
+	return rows, nil
+}
+
+// FormatEstimateAblation renders the ablation rows as a plain-text table.
+func FormatEstimateAblation(rows []EstimateAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Estimate-quality ablation: BAS-2 energy normalised by random ordering")
+	fmt.Fprintln(&b, "Estimator                         | Energy vs random | samples")
+	fmt.Fprintln(&b, "----------------------------------+------------------+--------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-33s | %16.3f | %6d\n", r.Estimator, r.EnergyVsRandom, r.Samples)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"battsched/internal/battery"
+)
+
+// CurveConfig parameterises the load versus delivered-capacity battery
+// characterisation sweep referenced in Section 5 of the paper (the curve
+// whose extrapolations define the maximum capacity at zero load and the
+// available charge at very large loads).
+type CurveConfig struct {
+	// Models lists the battery model names to sweep ("stochastic", "kibam",
+	// "diffusion", "peukert"); empty selects all four.
+	Models []string
+	// Currents are the constant loads in amperes; empty selects a default
+	// sweep from 50 mA to 4 A.
+	Currents []float64
+	// MaxHours caps each constant-load simulation.
+	MaxHours float64
+}
+
+// DefaultCurveConfig returns the default sweep.
+func DefaultCurveConfig() CurveConfig {
+	return CurveConfig{
+		Models:   []string{"stochastic", "kibam", "diffusion", "peukert"},
+		Currents: []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0},
+		MaxHours: 60,
+	}
+}
+
+// QuickCurveConfig returns a reduced sweep for fast benchmark runs.
+func QuickCurveConfig() CurveConfig {
+	return CurveConfig{
+		Models:   []string{"kibam", "stochastic"},
+		Currents: []float64{0.2, 1.0, 2.0},
+		MaxHours: 60,
+	}
+}
+
+// CurveSeries is the delivered-capacity curve of one battery model.
+type CurveSeries struct {
+	Model  string
+	Points []battery.CurvePoint
+}
+
+// RunLoadCapacityCurve sweeps constant loads for each requested battery model.
+func RunLoadCapacityCurve(cfg CurveConfig) ([]CurveSeries, error) {
+	if len(cfg.Models) == 0 {
+		cfg.Models = DefaultCurveConfig().Models
+	}
+	if len(cfg.Currents) == 0 {
+		cfg.Currents = DefaultCurveConfig().Currents
+	}
+	if cfg.MaxHours <= 0 {
+		cfg.MaxHours = 60
+	}
+	for _, c := range cfg.Currents {
+		if c <= 0 {
+			return nil, fmt.Errorf("%w: non-positive current %v", ErrBadConfig, c)
+		}
+	}
+	out := make([]CurveSeries, 0, len(cfg.Models))
+	for _, name := range cfg.Models {
+		factory, err := NamedBatteryFactory(name)
+		if err != nil {
+			return nil, err
+		}
+		points, err := battery.DeliveredCapacityCurve(factory(), cfg.Currents, cfg.MaxHours*3600)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurveSeries{Model: name, Points: points})
+	}
+	return out, nil
+}

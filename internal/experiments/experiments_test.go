@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNamedBatteryFactory(t *testing.T) {
+	for _, name := range []string{"", "stochastic", "kibam", "diffusion", "peukert"} {
+		f, err := NamedBatteryFactory(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		m := f()
+		if m == nil || m.MaxCapacity() <= 0 {
+			t.Fatalf("%q: bad model", name)
+		}
+		// Factories must return fresh instances.
+		if f() == m {
+			t.Fatalf("%q: factory returned a shared instance", name)
+		}
+	}
+	if _, err := NamedBatteryFactory("bogus"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown model err = %v", err)
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	cfg := QuickTable1Config()
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.TaskCounts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.TaskCounts))
+	}
+	for _, r := range rows {
+		if r.Samples != cfg.GraphsPerCount {
+			t.Fatalf("row %d: samples = %d", r.Tasks, r.Samples)
+		}
+		// All normalised energies are at least 1 (the optimum normalises).
+		for name, v := range map[string]float64{"random": r.Random, "ltf": r.LTF, "pubs": r.PUBS} {
+			if v < 0.999 {
+				t.Fatalf("row %d: %s = %v < 1", r.Tasks, name, v)
+			}
+		}
+		// The paper's qualitative shape: pUBS is the closest to optimal.
+		if r.PUBS > r.Random+1e-9 {
+			t.Fatalf("row %d: pUBS (%v) worse than random (%v)", r.Tasks, r.PUBS, r.Random)
+		}
+		if r.PUBS > r.LTF+1e-9 {
+			t.Fatalf("row %d: pUBS (%v) worse than LTF (%v)", r.Tasks, r.PUBS, r.LTF)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "pUBS") || !strings.Contains(out, "Table 1") {
+		t.Fatalf("FormatTable1 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunTable1Validation(t *testing.T) {
+	if _, err := RunTable1(Table1Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunFigure6Quick(t *testing.T) {
+	cfg := QuickFigure6Config()
+	cfg.UseCCEDF = true // the ordering-scheme separation is robust with ccEDF
+	rows, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.GraphCounts) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.GraphCounts))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Fatalf("row %d: no samples", r.Graphs)
+		}
+		for name, v := range map[string]float64{
+			"random": r.Random, "ltf": r.LTF, "pubs-imminent": r.PUBSImminent, "pubs-all": r.PUBSAllReleased,
+		} {
+			if v <= 0.5 || v > 10 {
+				t.Fatalf("row %d: %s = %v implausible", r.Graphs, name, v)
+			}
+		}
+		// pUBS over all released graphs should track the near-optimal most
+		// closely (allow a small tolerance for the quick configuration).
+		if r.PUBSAllReleased > r.Random*1.05 {
+			t.Fatalf("row %d: pUBS-all (%v) much worse than random (%v)", r.Graphs, r.PUBSAllReleased, r.Random)
+		}
+	}
+	out := FormatFigure6(rows)
+	if !strings.Contains(out, "Figure 6") {
+		t.Fatalf("FormatFigure6 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunFigure6Validation(t *testing.T) {
+	if _, err := RunFigure6(Figure6Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTable2Quick(t *testing.T) {
+	cfg := QuickTable2Config()
+	cfg.Battery = nil
+	cfg.BatteryName = "kibam"
+	rows, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+		if r.Sets != cfg.Sets {
+			t.Fatalf("%s: sets = %d", r.Scheme, r.Sets)
+		}
+		if r.ChargeDeliveredMAh <= 0 || r.ChargeDeliveredMAh > 2000 {
+			t.Fatalf("%s: charge = %v", r.Scheme, r.ChargeDeliveredMAh)
+		}
+		if r.BatteryLifeMin <= 0 {
+			t.Fatalf("%s: lifetime = %v", r.Scheme, r.BatteryLifeMin)
+		}
+	}
+	edf := byName["EDF"]
+	cc := byName["Cycle Conserving"]
+	bas2 := byName["BAS-2"]
+	// The headline qualitative results: any DVS beats no-DVS on lifetime and
+	// energy, and the full BAS-2 methodology beats plain EDF on both charge
+	// delivered and lifetime.
+	if cc.BatteryLifeMin <= edf.BatteryLifeMin {
+		t.Fatalf("ccEDF lifetime %v not above EDF lifetime %v", cc.BatteryLifeMin, edf.BatteryLifeMin)
+	}
+	if bas2.BatteryLifeMin <= edf.BatteryLifeMin {
+		t.Fatalf("BAS-2 lifetime %v not above EDF lifetime %v", bas2.BatteryLifeMin, edf.BatteryLifeMin)
+	}
+	if bas2.ChargeDeliveredMAh < edf.ChargeDeliveredMAh {
+		t.Fatalf("BAS-2 charge %v below EDF charge %v", bas2.ChargeDeliveredMAh, edf.ChargeDeliveredMAh)
+	}
+	if edf.EnergyPerHyperperiodJ <= bas2.EnergyPerHyperperiodJ {
+		t.Fatalf("EDF energy %v not above BAS-2 energy %v", edf.EnergyPerHyperperiodJ, bas2.EnergyPerHyperperiodJ)
+	}
+	out := FormatTable2(rows, "kibam", cfg.Utilization)
+	if !strings.Contains(out, "BAS-2") || !strings.Contains(out, "Table 2") {
+		t.Fatalf("FormatTable2 output unexpected:\n%s", out)
+	}
+}
+
+func TestRunTable2Validation(t *testing.T) {
+	if _, err := RunTable2(Table2Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := DefaultTable2Config()
+	bad.Sets = 1
+	bad.BatteryName = "bogus"
+	if _, err := RunTable2(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bogus battery err = %v", err)
+	}
+}
+
+func TestRunLoadCapacityCurve(t *testing.T) {
+	series, err := RunLoadCapacityCurve(QuickCurveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: points = %d", s.Model, len(s.Points))
+		}
+		// Rate-capacity effect: delivered capacity non-increasing in load.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].DeliveredMAh > s.Points[i-1].DeliveredMAh+1 {
+				t.Fatalf("%s: capacity increases with load: %+v", s.Model, s.Points)
+			}
+		}
+	}
+	out := FormatCurve(series)
+	if !strings.Contains(out, "kibam") {
+		t.Fatalf("FormatCurve output unexpected:\n%s", out)
+	}
+	if FormatCurve(nil) == "" {
+		t.Fatal("FormatCurve(nil) empty")
+	}
+}
+
+func TestRunEstimateAblation(t *testing.T) {
+	rows, err := RunEstimateAblation(QuickEstimateAblationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	oracle, history, pessimistic := rows[0], rows[1], rows[2]
+	if oracle.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	// With perfect estimates the pUBS ordering must beat random ordering; the
+	// paper's qualitative claim is that worse estimates push it back toward a
+	// random schedule, so the oracle variant should be at least as good as the
+	// pessimistic one.
+	if oracle.EnergyVsRandom > 1.02 {
+		t.Fatalf("oracle pUBS worse than random: %v", oracle.EnergyVsRandom)
+	}
+	if oracle.EnergyVsRandom > pessimistic.EnergyVsRandom+0.05 {
+		t.Fatalf("oracle (%v) much worse than pessimistic estimates (%v)", oracle.EnergyVsRandom, pessimistic.EnergyVsRandom)
+	}
+	if history.EnergyVsRandom <= 0 || pessimistic.EnergyVsRandom <= 0 {
+		t.Fatal("non-positive normalised energies")
+	}
+	out := FormatEstimateAblation(rows)
+	if !strings.Contains(out, "oracle") || !strings.Contains(out, "ablation") {
+		t.Fatalf("FormatEstimateAblation output unexpected:\n%s", out)
+	}
+}
+
+func TestRunEstimateAblationValidation(t *testing.T) {
+	if _, err := RunEstimateAblation(EstimateAblationConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunLoadCapacityCurveValidation(t *testing.T) {
+	if _, err := RunLoadCapacityCurve(CurveConfig{Currents: []float64{-1}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RunLoadCapacityCurve(CurveConfig{Models: []string{"bogus"}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	// Empty config gets defaults applied; just check it does not error when
+	// restricted to one cheap model and current.
+	if _, err := RunLoadCapacityCurve(CurveConfig{Models: []string{"peukert"}, Currents: []float64{1}}); err != nil {
+		t.Fatalf("defaults err = %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable1 renders Table 1 rows as a plain-text table matching the
+// paper's layout (energy normalised with respect to the optimal schedule).
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1: energy consumption normalised w.r.t. the optimal schedule")
+	fmt.Fprintln(&b, "# of tasks |  Random  |   LTF    |   pUBS   | samples")
+	fmt.Fprintln(&b, "-----------+----------+----------+----------+--------")
+	for _, r := range rows {
+		note := ""
+		if r.IncompleteSearches > 0 {
+			note = fmt.Sprintf("  (%d incomplete searches)", r.IncompleteSearches)
+		}
+		fmt.Fprintf(&b, "%10d | %8.2f | %8.2f | %8.2f | %6d%s\n",
+			r.Tasks, r.Random, r.LTF, r.PUBS, r.Samples, note)
+	}
+	return b.String()
+}
+
+// FormatFigure6 renders Figure 6 rows as a plain-text series table (energy
+// normalised with respect to the precedence-free near-optimal schedule).
+func FormatFigure6(rows []Figure6Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 6: energy of ordering schemes normalised w.r.t. near-optimal")
+	fmt.Fprintln(&b, "# graphs |  Random  |   LTF    | pUBS(imminent) | pUBS(all released) | samples")
+	fmt.Fprintln(&b, "---------+----------+----------+----------------+--------------------+--------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d | %8.3f | %8.3f | %14.3f | %18.3f | %6d\n",
+			r.Graphs, r.Random, r.LTF, r.PUBSImminent, r.PUBSAllReleased, r.Samples)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2 rows as a plain-text table matching the
+// paper's layout.
+func FormatTable2(rows []Table2Row, batteryName string, utilization float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: scheduling schemes at %.0f%% utilisation (battery model: %s)\n", utilization*100, batteryName)
+	fmt.Fprintln(&b, "Scheme            | DVS Algo | Priority | Ready list    | Charge (mAh) | Life (min) | Energy/hp (J) | Avg I (A)")
+	fmt.Fprintln(&b, "------------------+----------+----------+---------------+--------------+------------+---------------+----------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-17s | %-8s | %-8s | %-13s | %12.0f | %10.1f | %13.3f | %8.3f\n",
+			r.Scheme, r.DVS, r.Priority, r.ReadyList, r.ChargeDeliveredMAh, r.BatteryLifeMin, r.EnergyPerHyperperiodJ, r.AverageCurrentA)
+	}
+	return b.String()
+}
+
+// FormatCurve renders the load versus delivered-capacity curves as a
+// plain-text table with one column per battery model.
+func FormatCurve(series []CurveSeries) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Load vs delivered capacity (mAh)")
+	header := "current (A)"
+	for _, s := range series {
+		header += fmt.Sprintf(" | %12s", s.Model)
+	}
+	fmt.Fprintln(&b, header)
+	fmt.Fprintln(&b, strings.Repeat("-", len(header)))
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		line := fmt.Sprintf("%11.3f", series[0].Points[i].Current)
+		for _, s := range series {
+			if i < len(s.Points) {
+				line += fmt.Sprintf(" | %12.0f", s.Points[i].DeliveredMAh)
+			} else {
+				line += fmt.Sprintf(" | %12s", "-")
+			}
+		}
+		fmt.Fprintln(&b, line)
+	}
+	return b.String()
+}

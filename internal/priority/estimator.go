@@ -1,0 +1,127 @@
+package priority
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Estimator predicts the actual execution requirement X_k of a node instance
+// before it runs. The paper notes that the quality of the pUBS schedule
+// depends directly on the quality of this estimate and suggests keeping a
+// history of previous instances — which is what HistoryEstimator does.
+type Estimator interface {
+	// Estimate returns the predicted actual cycles for the node identified by
+	// (graphIndex, nodeID) whose worst case is wcet cycles. The result is in
+	// (0, wcet].
+	Estimate(graphIndex, nodeID int, wcet float64) float64
+	// Observe records the actual cycles consumed by a completed instance.
+	Observe(graphIndex, nodeID int, wcet, actual float64)
+}
+
+// DefaultInitialFraction is the fraction of the WCET assumed for a node that
+// has never been observed. The paper draws actual requirements uniformly in
+// [20 %, 100 %] of the WCET, whose mean is 60 %.
+const DefaultInitialFraction = 0.6
+
+// HistoryEstimator keeps an exponentially weighted moving average of the
+// actual/WCET ratio of each node across instances. It is safe for concurrent
+// use.
+type HistoryEstimator struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; larger values weigh the
+	// most recent instance more heavily.
+	Alpha float64
+	// InitialFraction is the assumed actual/WCET ratio before any
+	// observation.
+	InitialFraction float64
+
+	mu   sync.Mutex
+	hist map[string]float64
+}
+
+// NewHistoryEstimator returns a history estimator with the given smoothing
+// factor (clamped to (0,1]; 0 selects 0.5) and the default initial fraction.
+func NewHistoryEstimator(alpha float64) *HistoryEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &HistoryEstimator{Alpha: alpha, InitialFraction: DefaultInitialFraction, hist: make(map[string]float64)}
+}
+
+func key(graphIndex, nodeID int) string { return fmt.Sprintf("%d/%d", graphIndex, nodeID) }
+
+// Estimate implements Estimator.
+func (h *HistoryEstimator) Estimate(graphIndex, nodeID int, wcet float64) float64 {
+	if wcet <= 0 {
+		return 0
+	}
+	h.mu.Lock()
+	frac, ok := h.hist[key(graphIndex, nodeID)]
+	h.mu.Unlock()
+	if !ok {
+		frac = h.InitialFraction
+		if frac <= 0 || frac > 1 {
+			frac = DefaultInitialFraction
+		}
+	}
+	est := frac * wcet
+	if est <= 0 {
+		est = 1e-9 * wcet
+	}
+	if est > wcet {
+		est = wcet
+	}
+	return est
+}
+
+// Observe implements Estimator.
+func (h *HistoryEstimator) Observe(graphIndex, nodeID int, wcet, actual float64) {
+	if wcet <= 0 || actual <= 0 {
+		return
+	}
+	frac := actual / wcet
+	if frac > 1 {
+		frac = 1
+	}
+	k := key(graphIndex, nodeID)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if prev, ok := h.hist[k]; ok {
+		h.hist[k] = (1-h.Alpha)*prev + h.Alpha*frac
+	} else {
+		h.hist[k] = frac
+	}
+}
+
+// Len returns the number of nodes with recorded history.
+func (h *HistoryEstimator) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.hist)
+}
+
+// OracleEstimator returns a fixed fraction of the WCET and ignores
+// observations. With Fraction = 1 it reproduces worst-case-pessimistic
+// estimates; experiments that want a perfect oracle can instead bypass the
+// estimator and pass the true actual cycles directly.
+type OracleEstimator struct {
+	// Fraction is the assumed actual/WCET ratio in (0, 1].
+	Fraction float64
+}
+
+// Estimate implements Estimator.
+func (o OracleEstimator) Estimate(graphIndex, nodeID int, wcet float64) float64 {
+	f := o.Fraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return f * wcet
+}
+
+// Observe implements Estimator. It is a no-op.
+func (o OracleEstimator) Observe(graphIndex, nodeID int, wcet, actual float64) {}
+
+// compile-time interface checks
+var (
+	_ Estimator = (*HistoryEstimator)(nil)
+	_ Estimator = OracleEstimator{}
+)

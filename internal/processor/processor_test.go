@@ -1,0 +1,210 @@
+package processor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+	if m.FMax() != 1.0e9 || m.FMin() != 0.5e9 {
+		t.Fatalf("FMin/FMax = %v/%v, want 0.5e9/1e9", m.FMin(), m.FMax())
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Model)
+		want error
+	}{
+		{"no points", func(m *Model) { m.Points = nil }, ErrNoPoints},
+		{"unsorted freq", func(m *Model) { m.Points[0], m.Points[2] = m.Points[2], m.Points[0] }, ErrUnsorted},
+		{"zero ceff", func(m *Model) { m.Ceff = 0 }, ErrBadParameter},
+		{"bad eta", func(m *Model) { m.ConverterEfficiency = 1.5 }, ErrBadParameter},
+		{"zero vbat", func(m *Model) { m.BatteryVoltage = 0 }, ErrBadParameter},
+		{"negative idle", func(m *Model) { m.IdleCurrent = -1 }, ErrBadParameter},
+		{"zero voltage point", func(m *Model) { m.Points[0].Voltage = 0 }, ErrBadParameter},
+	}
+	for _, c := range cases {
+		m := Default()
+		c.mut(m)
+		if err := m.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: Validate = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestClampFrequency(t *testing.T) {
+	m := Default()
+	if got := m.ClampFrequency(0.1e9); got != 0.5e9 {
+		t.Fatalf("clamp low = %v", got)
+	}
+	if got := m.ClampFrequency(2e9); got != 1e9 {
+		t.Fatalf("clamp high = %v", got)
+	}
+	if got := m.ClampFrequency(0.75e9); got != 0.75e9 {
+		t.Fatalf("clamp in range = %v", got)
+	}
+}
+
+func TestVoltageInterpolation(t *testing.T) {
+	m := Default()
+	if got := m.VoltageAt(0.5e9); got != 3.0 {
+		t.Fatalf("V(0.5GHz) = %v, want 3", got)
+	}
+	if got := m.VoltageAt(1.0e9); got != 5.0 {
+		t.Fatalf("V(1GHz) = %v, want 5", got)
+	}
+	// Midpoint between 0.5 and 0.75 GHz -> 3.5 V.
+	if got := m.VoltageAt(0.625e9); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("V(0.625GHz) = %v, want 3.5", got)
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for f := m.FMin(); f <= m.FMax(); f += 0.01e9 {
+		p := m.Power(f)
+		if p < prev {
+			t.Fatalf("power not monotone at f=%v: %v < %v", f, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPowerCalibration(t *testing.T) {
+	m := Default()
+	pmax := m.PowerAtPoint(m.Points[len(m.Points)-1])
+	if pmax < 2.0 || pmax > 2.4 {
+		t.Fatalf("Pmax = %v W, want about 2.2 W", pmax)
+	}
+}
+
+func TestBatteryCurrentCubicScaling(t *testing.T) {
+	m := Default()
+	iMax := m.BatteryCurrentAtPoint(m.Points[2])
+	iMin := m.BatteryCurrentAtPoint(m.Points[0])
+	// At half frequency and 3/5 voltage: ratio = (3/5)^2 * 0.5 = 0.18,
+	// close to the paper's s^3 = 0.125 scaling.
+	ratio := iMin / iMax
+	if ratio > 0.25 || ratio < 0.1 {
+		t.Fatalf("current ratio at half speed = %v, want roughly cubic (0.1–0.25)", ratio)
+	}
+}
+
+func TestEnergyPerCycleDecreasesWithFrequency(t *testing.T) {
+	m := Default()
+	// Lower frequency means lower voltage, so lower energy per cycle.
+	if m.EnergyPerCycle(0.5e9) >= m.EnergyPerCycle(1.0e9) {
+		t.Fatalf("energy per cycle should decrease at lower frequency: %v vs %v",
+			m.EnergyPerCycle(0.5e9), m.EnergyPerCycle(1.0e9))
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	m := Default()
+	if got := m.Speed(0.5e9); got != 0.5 {
+		t.Fatalf("Speed(0.5GHz) = %v, want 0.5", got)
+	}
+	if got := m.Speed(5e9); got != 1 {
+		t.Fatalf("Speed clamps to 1, got %v", got)
+	}
+}
+
+func TestRealizeExactPoint(t *testing.T) {
+	m := Default()
+	r := m.Realize(0.75e9)
+	if len(r.Segments) != 1 || r.Segments[0].Point.Frequency != 0.75e9 || r.Segments[0].Share != 1 {
+		t.Fatalf("Realize(0.75GHz) = %+v, want single full segment", r)
+	}
+}
+
+func TestRealizeInterpolatesAdjacentPoints(t *testing.T) {
+	m := Default()
+	r := m.Realize(0.6e9)
+	if len(r.Segments) != 2 {
+		t.Fatalf("Realize(0.6GHz) = %+v, want 2 segments", r)
+	}
+	// Higher frequency first so the local current profile is non-increasing.
+	if r.Segments[0].Point.Frequency <= r.Segments[1].Point.Frequency {
+		t.Fatalf("segments not ordered high->low: %+v", r)
+	}
+	if math.Abs(r.EffectiveFrequency()-0.6e9) > 1 {
+		t.Fatalf("effective frequency = %v, want 0.6e9", r.EffectiveFrequency())
+	}
+	shares := r.Segments[0].Share + r.Segments[1].Share
+	if math.Abs(shares-1) > 1e-12 {
+		t.Fatalf("shares sum to %v, want 1", shares)
+	}
+	if r.AverageCurrent(m) <= 0 {
+		t.Fatalf("average current = %v, want > 0", r.AverageCurrent(m))
+	}
+}
+
+func TestRealizeClampsOutOfRange(t *testing.T) {
+	m := Default()
+	lo := m.Realize(0.1e9)
+	if len(lo.Segments) != 1 || lo.Segments[0].Point.Frequency != m.FMin() {
+		t.Fatalf("Realize below range = %+v", lo)
+	}
+	hi := m.Realize(3e9)
+	if len(hi.Segments) != 1 || hi.Segments[0].Point.Frequency != m.FMax() {
+		t.Fatalf("Realize above range = %+v", hi)
+	}
+}
+
+// Property: for any in-range frequency the realization reproduces it exactly
+// (to numerical precision), its shares are in [0,1] and sum to 1, and its
+// average current is between the currents of the lowest and highest points.
+func TestRealizeProperty(t *testing.T) {
+	m := Default()
+	f := func(x float64) bool {
+		frac := math.Abs(math.Mod(x, 1))
+		fref := m.FMin() + frac*(m.FMax()-m.FMin())
+		r := m.Realize(fref)
+		var sum float64
+		for _, s := range r.Segments {
+			if s.Share < -1e-12 || s.Share > 1+1e-12 {
+				return false
+			}
+			sum += s.Share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		if math.Abs(r.EffectiveFrequency()-fref) > 1e-3 {
+			return false
+		}
+		i := r.AverageCurrent(m)
+		return i >= m.BatteryCurrentAtPoint(m.Points[0])-1e-12 && i <= m.BatteryCurrentAtPoint(m.Points[len(m.Points)-1])+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolated voltage is monotone in frequency across the range.
+func TestVoltageMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b float64) bool {
+		fa := m.FMin() + math.Abs(math.Mod(a, 1))*(m.FMax()-m.FMin())
+		fb := m.FMin() + math.Abs(math.Mod(b, 1))*(m.FMax()-m.FMin())
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return m.VoltageAt(fa) <= m.VoltageAt(fb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package profile represents battery load-current profiles as sequences of
+// piecewise-constant segments. The scheduler (internal/core) emits a Profile
+// describing the current drawn from the battery over one simulated horizon;
+// the battery models (internal/battery/...) consume it, repeating it
+// periodically until the battery is exhausted.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Segment is a constant-current interval.
+type Segment struct {
+	// Duration of the segment in seconds (> 0).
+	Duration float64
+	// Current drawn from the battery in amperes (>= 0).
+	Current float64
+}
+
+// Profile is an ordered sequence of constant-current segments.
+type Profile struct {
+	Segments []Segment
+}
+
+// Errors returned by profile operations.
+var (
+	ErrEmptyProfile = errors.New("profile: empty profile")
+	ErrBadSegment   = errors.New("profile: segment with non-positive duration or negative current")
+)
+
+// New returns an empty profile.
+func New() *Profile { return &Profile{} }
+
+// Append adds a constant-current segment, merging it with the previous one if
+// the current is (numerically) identical. Zero-duration segments are ignored.
+func (p *Profile) Append(duration, current float64) {
+	if duration <= 0 {
+		return
+	}
+	if current < 0 {
+		current = 0
+	}
+	if n := len(p.Segments); n > 0 && nearlyEqual(p.Segments[n-1].Current, current) {
+		p.Segments[n-1].Duration += duration
+		return
+	}
+	p.Segments = append(p.Segments, Segment{Duration: duration, Current: current})
+}
+
+// AppendSegment adds a pre-built segment via Append.
+func (p *Profile) AppendSegment(s Segment) { p.Append(s.Duration, s.Current) }
+
+// Validate checks the profile contains at least one well-formed segment.
+func (p *Profile) Validate() error {
+	if len(p.Segments) == 0 {
+		return ErrEmptyProfile
+	}
+	for i, s := range p.Segments {
+		if s.Duration <= 0 || s.Current < 0 {
+			return fmt.Errorf("%w: segment %d = %+v", ErrBadSegment, i, s)
+		}
+	}
+	return nil
+}
+
+// Duration returns the total length of the profile in seconds.
+func (p *Profile) Duration() float64 {
+	var d float64
+	for _, s := range p.Segments {
+		d += s.Duration
+	}
+	return d
+}
+
+// Charge returns the total charge of the profile in coulombs (ampere-seconds).
+func (p *Profile) Charge() float64 {
+	var q float64
+	for _, s := range p.Segments {
+		q += s.Duration * s.Current
+	}
+	return q
+}
+
+// ChargeMAh returns the total charge in milliampere-hours.
+func (p *Profile) ChargeMAh() float64 { return p.Charge() / 3.6 }
+
+// AverageCurrent returns Charge()/Duration(), or 0 for an empty profile.
+func (p *Profile) AverageCurrent() float64 {
+	d := p.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return p.Charge() / d
+}
+
+// PeakCurrent returns the largest segment current.
+func (p *Profile) PeakCurrent() float64 {
+	var m float64
+	for _, s := range p.Segments {
+		if s.Current > m {
+			m = s.Current
+		}
+	}
+	return m
+}
+
+// Energy returns the energy delivered at the given terminal voltage, in
+// joules.
+func (p *Profile) Energy(voltage float64) float64 { return p.Charge() * voltage }
+
+// CurrentAt returns the current at time t (seconds from the start of the
+// profile). Times beyond the end of the profile wrap around (the profile is
+// treated as periodic); negative times return the first segment's current.
+func (p *Profile) CurrentAt(t float64) float64 {
+	if len(p.Segments) == 0 {
+		return 0
+	}
+	d := p.Duration()
+	if d <= 0 {
+		return p.Segments[0].Current
+	}
+	if t < 0 {
+		return p.Segments[0].Current
+	}
+	t = math.Mod(t, d)
+	for _, s := range p.Segments {
+		if t < s.Duration {
+			return s.Current
+		}
+		t -= s.Duration
+	}
+	return p.Segments[len(p.Segments)-1].Current
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	return &Profile{Segments: append([]Segment(nil), p.Segments...)}
+}
+
+// Scale returns a copy of the profile with every current multiplied by k.
+func (p *Profile) Scale(k float64) *Profile {
+	c := p.Clone()
+	for i := range c.Segments {
+		c.Segments[i].Current *= k
+		if c.Segments[i].Current < 0 {
+			c.Segments[i].Current = 0
+		}
+	}
+	return c
+}
+
+// Concat returns a new profile consisting of p followed by q.
+func (p *Profile) Concat(q *Profile) *Profile {
+	out := p.Clone()
+	for _, s := range q.Segments {
+		out.Append(s.Duration, s.Current)
+	}
+	return out
+}
+
+// Repeat returns a new profile consisting of n back-to-back copies of p.
+func (p *Profile) Repeat(n int) *Profile {
+	out := New()
+	for i := 0; i < n; i++ {
+		for _, s := range p.Segments {
+			out.Append(s.Duration, s.Current)
+		}
+	}
+	return out
+}
+
+// Constant returns a single-segment profile drawing current amperes for
+// duration seconds.
+func Constant(current, duration float64) *Profile {
+	p := New()
+	p.Append(duration, current)
+	return p
+}
+
+// IsLocallyNonIncreasing reports whether, inside every window of length
+// `window` seconds aligned to the start of the profile, segment currents never
+// increase. With window <= 0 the whole profile is one window. This is the
+// property battery guideline 1 asks the scheduler to preserve within one
+// task-arrival window.
+func (p *Profile) IsLocallyNonIncreasing(window float64) bool {
+	if len(p.Segments) == 0 {
+		return true
+	}
+	if window <= 0 {
+		window = math.Inf(1)
+	}
+	var t float64
+	prev := math.Inf(1)
+	windowIdx := 0
+	for _, s := range p.Segments {
+		idx := int(t / window)
+		if idx != windowIdx {
+			windowIdx = idx
+			prev = math.Inf(1)
+		}
+		if s.Current > prev+1e-12 {
+			return false
+		}
+		prev = s.Current
+		t += s.Duration
+	}
+	return true
+}
+
+// WriteCSV writes the profile as "start_s,duration_s,current_a" rows.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	var t float64
+	if _, err := fmt.Fprintln(w, "start_s,duration_s,current_a"); err != nil {
+		return err
+	}
+	for _, s := range p.Segments {
+		if _, err := fmt.Fprintf(w, "%.9g,%.9g,%.9g\n", t, s.Duration, s.Current); err != nil {
+			return err
+		}
+		t += s.Duration
+	}
+	return nil
+}
+
+// ReadCSV parses a profile previously written by WriteCSV (the start column
+// is ignored; ordering is taken from row order).
+func ReadCSV(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := New()
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "start_s") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var start, dur, cur float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(line, ",", " "), "%g %g %g", &start, &dur, &cur); err != nil {
+			return nil, fmt.Errorf("profile: line %d: %w", i+1, err)
+		}
+		p.Append(dur, cur)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// String implements fmt.Stringer.
+func (p *Profile) String() string {
+	return fmt.Sprintf("Profile(segments=%d duration=%.3gs avg=%.3gA peak=%.3gA)",
+		len(p.Segments), p.Duration(), p.AverageCurrent(), p.PeakCurrent())
+}
+
+func nearlyEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= 1e-12 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySampleErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Variance(nil) err = %v", err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("StdDev(nil) err = %v", err)
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Min(nil) err = %v", err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Max(nil) err = %v", err)
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Percentile(nil) err = %v", err)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Summarize(nil) err = %v", err)
+	}
+}
+
+func TestBasicStatistics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	v, _ := Variance(xs)
+	if math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, _ := StdDev(xs)
+	if math.Abs(sd-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", sd)
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo != 2 || hi != 9 {
+		t.Fatalf("Min/Max = %v/%v", lo, hi)
+	}
+}
+
+func TestSingleValueVarianceIsZero(t *testing.T) {
+	v, err := Variance([]float64{42})
+	if err != nil || v != 0 {
+		t.Fatalf("Variance([42]) = %v, %v", v, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-10, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	single, _ := Percentile([]float64{7}, 50)
+	if single != 7 {
+		t.Fatalf("Percentile single = %v", single)
+	}
+	// Interpolation between order statistics.
+	interp, _ := Percentile([]float64{0, 10}, 25)
+	if math.Abs(interp-2.5) > 1e-12 {
+		t.Fatalf("Percentile interp = %v, want 2.5", interp)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Fatalf("CI95 = %v, want > 0", s.CI95)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Summary string")
+	}
+	one, _ := Summarize([]float64{9})
+	if one.CI95 != 0 || one.StdDev != 0 {
+		t.Fatalf("single-sample summary = %+v", one)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{3.5, -1, 2, 8, 0.25, 7, 7, -2.5}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	batch, _ := Summarize(xs)
+	got := acc.Summary()
+	if got.N != batch.N {
+		t.Fatalf("N = %d, want %d", got.N, batch.N)
+	}
+	if math.Abs(got.Mean-batch.Mean) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got.Mean, batch.Mean)
+	}
+	if math.Abs(got.StdDev-batch.StdDev) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got.StdDev, batch.StdDev)
+	}
+	if got.Min != batch.Min || got.Max != batch.Max {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", got.Min, got.Max, batch.Min, batch.Max)
+	}
+	if math.Abs(got.CI95-batch.CI95) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got.CI95, batch.CI95)
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.StdDev() != 0 {
+		t.Fatalf("empty accumulator = %+v", acc.Summary())
+	}
+	acc.Add(5)
+	if acc.N() != 1 || acc.Mean() != 5 || acc.StdDev() != 0 {
+		t.Fatalf("single accumulator = %+v", acc.Summary())
+	}
+}
+
+// Property: the accumulator's mean always lies within [min, max] of the
+// values added, and matches the batch mean.
+func TestAccumulatorProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 1e6))
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var acc Accumulator
+		for _, x := range clean {
+			acc.Add(x)
+		}
+		batch, _ := Mean(clean)
+		lo, _ := Min(clean)
+		hi, _ := Max(clean)
+		tol := 1e-9 * math.Max(1, math.Abs(batch))
+		return math.Abs(acc.Mean()-batch) <= tol && acc.Mean() >= lo-tol && acc.Mean() <= hi+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package taskgraph
+
+import "math/rand"
+
+// ExecutionModel draws the actual execution requirement (in cycles at f_max)
+// of a node instance. The paper assumes the actual computation of a task is
+// "chosen at random between 20% and 100% of the WCET".
+type ExecutionModel interface {
+	// Actual returns the actual cycles for one instance of the node. The
+	// result must satisfy 0 < Actual <= node.WCET.
+	Actual(g *Graph, id NodeID) float64
+}
+
+// UniformExecution draws the actual requirement uniformly in
+// [MinFraction, MaxFraction] * WCET. The zero value is not usable; use
+// NewUniformExecution.
+type UniformExecution struct {
+	MinFraction float64
+	MaxFraction float64
+	rng         *rand.Rand
+}
+
+// NewUniformExecution returns the paper's execution model: actual cycles
+// drawn uniformly in [minFrac, maxFrac]*WCET using the given seed. The paper
+// uses minFrac=0.2, maxFrac=1.0.
+func NewUniformExecution(minFrac, maxFrac float64, seed int64) *UniformExecution {
+	if minFrac <= 0 {
+		minFrac = 0.2
+	}
+	if maxFrac <= 0 || maxFrac > 1 {
+		maxFrac = 1.0
+	}
+	if minFrac > maxFrac {
+		minFrac, maxFrac = maxFrac, minFrac
+	}
+	return &UniformExecution{MinFraction: minFrac, MaxFraction: maxFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Actual implements ExecutionModel.
+func (u *UniformExecution) Actual(g *Graph, id NodeID) float64 {
+	wc := g.Nodes[id].WCET
+	f := u.MinFraction + u.rng.Float64()*(u.MaxFraction-u.MinFraction)
+	ac := f * wc
+	if ac <= 0 {
+		ac = wc * u.MinFraction
+	}
+	if ac > wc {
+		ac = wc
+	}
+	return ac
+}
+
+// WorstCaseExecution always returns the WCET: every instance takes its worst
+// case. Useful for deterministic traces (Figure 5 of the paper) and for
+// schedulability tests.
+type WorstCaseExecution struct{}
+
+// Actual implements ExecutionModel.
+func (WorstCaseExecution) Actual(g *Graph, id NodeID) float64 { return g.Nodes[id].WCET }
+
+// FixedFractionExecution returns a fixed fraction of the WCET for every node,
+// optionally overridden per node name. It reproduces hand-built scenarios such
+// as the paper's Figure 4 (40%/60% actual computation).
+type FixedFractionExecution struct {
+	// Fraction is the default actual/WCET ratio (clamped to (0,1]).
+	Fraction float64
+	// PerNode overrides the fraction for nodes whose Name matches the key.
+	PerNode map[string]float64
+}
+
+// Actual implements ExecutionModel.
+func (f *FixedFractionExecution) Actual(g *Graph, id NodeID) float64 {
+	frac := f.Fraction
+	if f.PerNode != nil {
+		if v, ok := f.PerNode[g.Nodes[id].Name]; ok {
+			frac = v
+		}
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	return frac * g.Nodes[id].WCET
+}

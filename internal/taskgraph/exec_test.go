@@ -1,0 +1,92 @@
+package taskgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformExecutionBounds(t *testing.T) {
+	g := NewGraph("g", 1)
+	g.AddNode("", 1000)
+	m := NewUniformExecution(0.2, 1.0, 42)
+	for i := 0; i < 1000; i++ {
+		ac := m.Actual(g, 0)
+		if ac < 0.2*1000-1e-9 || ac > 1000+1e-9 {
+			t.Fatalf("actual %v outside [200,1000]", ac)
+		}
+	}
+}
+
+func TestUniformExecutionIsDeterministicPerSeed(t *testing.T) {
+	g := NewGraph("g", 1)
+	g.AddNode("", 1000)
+	a := NewUniformExecution(0.2, 1.0, 7)
+	b := NewUniformExecution(0.2, 1.0, 7)
+	for i := 0; i < 100; i++ {
+		if a.Actual(g, 0) != b.Actual(g, 0) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestUniformExecutionDefaultsForBadArgs(t *testing.T) {
+	m := NewUniformExecution(-1, 2, 1)
+	if m.MinFraction != 0.2 || m.MaxFraction != 1.0 {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+	// Swapped bounds are reordered.
+	m2 := NewUniformExecution(0.9, 0.3, 1)
+	if m2.MinFraction > m2.MaxFraction {
+		t.Fatalf("bounds not reordered: %+v", m2)
+	}
+}
+
+func TestWorstCaseExecution(t *testing.T) {
+	g := NewGraph("g", 1)
+	g.AddNode("", 777)
+	var m WorstCaseExecution
+	if got := m.Actual(g, 0); got != 777 {
+		t.Fatalf("Actual = %v, want 777", got)
+	}
+}
+
+func TestFixedFractionExecution(t *testing.T) {
+	g := NewGraph("g", 1)
+	g.AddNode("task1", 1000)
+	g.AddNode("task2", 1000)
+	m := &FixedFractionExecution{Fraction: 0.4, PerNode: map[string]float64{"task2": 0.6}}
+	if got := m.Actual(g, 0); got != 400 {
+		t.Fatalf("task1 actual = %v, want 400", got)
+	}
+	if got := m.Actual(g, 1); got != 600 {
+		t.Fatalf("task2 actual = %v, want 600", got)
+	}
+	// Out-of-range fraction falls back to the WCET.
+	bad := &FixedFractionExecution{Fraction: 0}
+	if got := bad.Actual(g, 0); got != 1000 {
+		t.Fatalf("fallback actual = %v, want 1000", got)
+	}
+}
+
+// Property: every execution model yields 0 < actual <= WCET.
+func TestExecutionModelsWithinBoundsProperty(t *testing.T) {
+	g := NewGraph("g", 1)
+	g.AddNode("n", 12345)
+	models := []ExecutionModel{
+		NewUniformExecution(0.2, 1.0, 99),
+		WorstCaseExecution{},
+		&FixedFractionExecution{Fraction: 0.5},
+	}
+	f := func(_ uint8) bool {
+		for _, m := range models {
+			ac := m.Actual(g, 0)
+			if ac <= 0 || ac > g.Nodes[0].WCET+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common validation errors returned by Graph.Validate and System.Validate.
+var (
+	ErrEmptyGraph     = errors.New("taskgraph: graph has no nodes")
+	ErrCycle          = errors.New("taskgraph: graph contains a cycle")
+	ErrBadEdge        = errors.New("taskgraph: edge references unknown node")
+	ErrSelfEdge       = errors.New("taskgraph: self edge")
+	ErrBadWCET        = errors.New("taskgraph: node WCET must be > 0")
+	ErrBadPeriod      = errors.New("taskgraph: period must be > 0")
+	ErrDuplicateEdge  = errors.New("taskgraph: duplicate edge")
+	ErrBadNodeID      = errors.New("taskgraph: node IDs must be dense and start at 0")
+	ErrOverload       = errors.New("taskgraph: system utilisation exceeds 1")
+	ErrEmptySystem    = errors.New("taskgraph: system has no graphs")
+	ErrDuplicateGraph = errors.New("taskgraph: duplicate graph name")
+)
+
+// Graph is a periodic task graph: a DAG of Nodes with precedence Edges, a
+// Period, and an implicit relative deadline equal to the period (as assumed
+// by the paper).
+type Graph struct {
+	// Name identifies the graph within a System.
+	Name string
+	// Nodes are the tasks; Nodes[i].ID == NodeID(i).
+	Nodes []Node
+	// Edges are precedence constraints between nodes of this graph.
+	Edges []Edge
+	// Period is the inter-arrival time of instances in seconds. The relative
+	// deadline equals the period.
+	Period float64
+
+	// derived adjacency, built lazily by ensureAdj.
+	succ [][]NodeID
+	pred [][]NodeID
+}
+
+// NewGraph returns an empty graph with the given name and period.
+func NewGraph(name string, period float64) *Graph {
+	return &Graph{Name: name, Period: period}
+}
+
+// AddNode appends a node with the given name and WCET (cycles at f_max) and
+// returns its NodeID.
+func (g *Graph) AddNode(name string, wcet float64) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Name: name, WCET: wcet})
+	g.invalidate()
+	return id
+}
+
+// AddEdge adds the precedence constraint from -> to.
+func (g *Graph) AddEdge(from, to NodeID) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to})
+	g.invalidate()
+}
+
+// Deadline returns the relative deadline, which equals the period.
+func (g *Graph) Deadline() float64 { return g.Period }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// TotalWCET returns the sum of the worst-case execution requirements of all
+// nodes, in cycles at f_max. This is the quantity the paper calls WC_i.
+func (g *Graph) TotalWCET() float64 {
+	var sum float64
+	for _, n := range g.Nodes {
+		sum += n.WCET
+	}
+	return sum
+}
+
+// Utilization returns TotalWCET/(fmax*Period): the fraction of the processor
+// (running at f_max) this graph requires in the worst case.
+func (g *Graph) Utilization(fmax float64) float64 {
+	return g.TotalWCET() / (fmax * g.Period)
+}
+
+// ScaleWCET multiplies every node's WCET by factor. It is used by workload
+// generators to hit a target utilisation.
+func (g *Graph) ScaleWCET(factor float64) {
+	for i := range g.Nodes {
+		g.Nodes[i].WCET *= factor
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name, Period: g.Period}
+	c.Nodes = append([]Node(nil), g.Nodes...)
+	c.Edges = append([]Edge(nil), g.Edges...)
+	return c
+}
+
+// invalidate drops cached adjacency after a mutation.
+func (g *Graph) invalidate() {
+	g.succ = nil
+	g.pred = nil
+}
+
+// ensureAdj (re)builds the successor and predecessor adjacency lists.
+func (g *Graph) ensureAdj() {
+	if g.succ != nil {
+		return
+	}
+	n := len(g.Nodes)
+	g.succ = make([][]NodeID, n)
+	g.pred = make([][]NodeID, n)
+	for _, e := range g.Edges {
+		if int(e.From) < 0 || int(e.From) >= n || int(e.To) < 0 || int(e.To) >= n {
+			continue // Validate reports this; keep adjacency in-bounds.
+		}
+		g.succ[e.From] = append(g.succ[e.From], e.To)
+		g.pred[e.To] = append(g.pred[e.To], e.From)
+	}
+}
+
+// Successors returns the nodes that directly depend on id.
+func (g *Graph) Successors(id NodeID) []NodeID {
+	g.ensureAdj()
+	return g.succ[id]
+}
+
+// Predecessors returns the nodes id directly depends on.
+func (g *Graph) Predecessors(id NodeID) []NodeID {
+	g.ensureAdj()
+	return g.pred[id]
+}
+
+// Sources returns the nodes with no predecessors, in ID order.
+func (g *Graph) Sources() []NodeID {
+	g.ensureAdj()
+	var out []NodeID
+	for i := range g.Nodes {
+		if len(g.pred[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no successors, in ID order.
+func (g *Graph) Sinks() []NodeID {
+	g.ensureAdj()
+	var out []NodeID
+	for i := range g.Nodes {
+		if len(g.succ[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// TopologicalOrder returns one topological ordering of the node IDs (Kahn's
+// algorithm, smallest ID first among ready nodes so the result is
+// deterministic). It returns ErrCycle if the graph is cyclic.
+func (g *Graph) TopologicalOrder() ([]NodeID, error) {
+	g.ensureAdj()
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if int(e.To) >= 0 && int(e.To) < n && int(e.From) >= 0 && int(e.From) < n {
+			indeg[e.To]++
+		}
+	}
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, NodeID(v))
+		for _, s := range g.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, int(s))
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsLinearExtension reports whether order is a permutation of all node IDs
+// that respects every precedence edge.
+func (g *Graph) IsLinearExtension(order []NodeID) bool {
+	if len(order) != len(g.Nodes) {
+		return false
+	}
+	pos := make(map[NodeID]int, len(order))
+	for i, id := range order {
+		if int(id) < 0 || int(id) >= len(g.Nodes) {
+			return false
+		}
+		if _, dup := pos[id]; dup {
+			return false
+		}
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] > pos[e.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPathWCET returns the length (in cycles) of the longest
+// WCET-weighted path through the graph. It is a lower bound on the work that
+// must be executed sequentially.
+func (g *Graph) CriticalPathWCET() float64 {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return 0
+	}
+	longest := make([]float64, len(g.Nodes))
+	var best float64
+	for _, id := range order {
+		l := longest[id] + g.Nodes[id].WCET
+		if l > best {
+			best = l
+		}
+		for _, s := range g.Successors(id) {
+			if l > longest[s] {
+				longest[s] = l
+			}
+		}
+	}
+	return best
+}
+
+// Validate checks structural sanity: at least one node, positive period,
+// positive WCETs, in-range and non-duplicate edges, and acyclicity.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return ErrEmptyGraph
+	}
+	if g.Period <= 0 {
+		return fmt.Errorf("%w: graph %q has period %v", ErrBadPeriod, g.Name, g.Period)
+	}
+	for i, n := range g.Nodes {
+		if int(n.ID) != i {
+			return fmt.Errorf("%w: node %d has ID %d", ErrBadNodeID, i, int(n.ID))
+		}
+		if n.WCET <= 0 {
+			return fmt.Errorf("%w: node %s", ErrBadWCET, n)
+		}
+	}
+	seen := make(map[Edge]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		if int(e.From) < 0 || int(e.From) >= len(g.Nodes) || int(e.To) < 0 || int(e.To) >= len(g.Nodes) {
+			return fmt.Errorf("%w: %s in graph %q", ErrBadEdge, e, g.Name)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: %s in graph %q", ErrSelfEdge, e, g.Name)
+		}
+		if seen[e] {
+			return fmt.Errorf("%w: %s in graph %q", ErrDuplicateEdge, e, g.Name)
+		}
+		seen[e] = true
+	}
+	g.invalidate()
+	if _, err := g.TopologicalOrder(); err != nil {
+		return fmt.Errorf("graph %q: %w", g.Name, err)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(%s nodes=%d edges=%d period=%g)", g.Name, len(g.Nodes), len(g.Edges), g.Period)
+}

@@ -1,0 +1,49 @@
+// Package taskgraph defines the workload model used throughout battsched:
+// periodic task graphs (directed acyclic graphs of tasks with precedence
+// constraints), exactly as in "Battery Aware Dynamic Scheduling for Periodic
+// Task Graphs" (Rao et al., WPDRTS 2006).
+//
+// A Graph is a DAG whose nodes are tasks with a worst-case execution
+// requirement expressed in processor cycles at the maximum frequency. Every
+// graph is periodic and its relative deadline equals its period; all nodes of
+// an instance must complete by the instance deadline. A System is a set of
+// graphs scheduled together on one DVS-capable processor.
+package taskgraph
+
+import "fmt"
+
+// NodeID identifies a node within a single Graph. IDs are dense and start at
+// zero; they index directly into Graph.Nodes.
+type NodeID int
+
+// Node is one task of a task graph.
+//
+// WCET is the worst-case execution requirement in processor cycles at the
+// maximum frequency (f_max). The actual requirement of a particular instance
+// is drawn at run time (see ExecutionModel) and is always <= WCET.
+type Node struct {
+	// ID is the node's index inside its graph.
+	ID NodeID
+	// Name is an optional human-readable label ("fft", "n3", ...).
+	Name string
+	// WCET is the worst-case execution requirement in cycles at f_max.
+	WCET float64
+}
+
+// String implements fmt.Stringer.
+func (n Node) String() string {
+	if n.Name != "" {
+		return fmt.Sprintf("%s(#%d wc=%.0f)", n.Name, int(n.ID), n.WCET)
+	}
+	return fmt.Sprintf("n%d(wc=%.0f)", int(n.ID), n.WCET)
+}
+
+// Edge is a precedence constraint: From must complete before To may start
+// within the same graph instance.
+type Edge struct {
+	From NodeID
+	To   NodeID
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", int(e.From), int(e.To)) }
