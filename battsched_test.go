@@ -1,8 +1,10 @@
 package battsched_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"battsched"
@@ -147,5 +149,55 @@ func TestPublicAPICapacityCurve(t *testing.T) {
 	}
 	if len(pts) != 2 || pts[1].DeliveredMAh > pts[0].DeliveredMAh+1 {
 		t.Fatalf("curve wrong: %+v", pts)
+	}
+}
+
+// TestPublicAPIParallelMap checks the exported job-grid runner: ordered
+// results, per-job seed derivation, and worker-count independence.
+func TestPublicAPIParallelMap(t *testing.T) {
+	job := func(_ context.Context, i int) (float64, error) {
+		return battsched.SeededRNG(3, int64(i)).Float64(), nil
+	}
+	seq, err := battsched.ParallelMap(context.Background(), 16, battsched.RunnerOptions{Parallelism: 1}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := battsched.ParallelMap(context.Background(), 16, battsched.RunnerOptions{Parallelism: 8}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("job %d differs across worker counts", i)
+		}
+	}
+	if battsched.DeriveSeed(1, 2) == battsched.DeriveSeed(1, 3) {
+		t.Fatal("DeriveSeed collision")
+	}
+	g := battsched.NewJobGrid(2, 3)
+	if g.Size() != 6 || g.Index(1, 2) != 5 {
+		t.Fatalf("JobGrid wrong: size=%d idx=%d", g.Size(), g.Index(1, 2))
+	}
+}
+
+// TestPublicAPIScenarioGrid runs a minimal scenario-grid sweep through the
+// root facade.
+func TestPublicAPIScenarioGrid(t *testing.T) {
+	cfg := battsched.DefaultScenarioGridConfig()
+	cfg.Utilizations = []float64{0.7}
+	cfg.Batteries = []string{"peukert"}
+	cfg.Schemes = []string{"BAS-2"}
+	cfg.Sets = 2
+	cfg.GraphsPerSet = 2
+	cfg.Hyperperiods = 1
+	rows, err := battsched.RunScenarioGrid(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Scheme != "BAS-2" || rows[0].Charge.N != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if out := battsched.FormatScenarioGrid(rows); !strings.Contains(out, "BAS-2") {
+		t.Fatalf("format output unexpected:\n%s", out)
 	}
 }

@@ -7,6 +7,7 @@
 package battsched_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,8 +25,9 @@ import (
 // orderings normalised to the exhaustive optimum on single task graphs).
 func BenchmarkTable1(b *testing.B) {
 	cfg := experiments.QuickTable1Config()
+	cfg.Parallel = 1 // measure the sequential path
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable1(cfg)
+		rows, err := experiments.RunTable1(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -39,8 +41,9 @@ func BenchmarkTable1(b *testing.B) {
 // schemes normalised to the precedence-free near-optimal schedule).
 func BenchmarkFigure6(b *testing.B) {
 	cfg := experiments.QuickFigure6Config()
+	cfg.Parallel = 1 // measure the sequential path
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunFigure6(cfg)
+		rows, err := experiments.RunFigure6(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,12 +54,31 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 // BenchmarkTable2 regenerates the paper's Table 2 (charge delivered and
-// battery lifetime of the five scheduling schemes).
+// battery lifetime of the five scheduling schemes) on one worker — the
+// sequential baseline BenchmarkTable2Parallel is compared against.
 func BenchmarkTable2(b *testing.B) {
 	cfg := experiments.QuickTable2Config()
 	cfg.BatteryName = "kibam"
+	cfg.Parallel = 1
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunTable2(cfg)
+		rows, err := experiments.RunTable2(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkTable2Parallel runs the same workload on all cores; the ratio to
+// BenchmarkTable2 tracks the speedup of the job-grid runner.
+func BenchmarkTable2Parallel(b *testing.B) {
+	cfg := experiments.QuickTable2Config()
+	cfg.BatteryName = "kibam"
+	cfg.Parallel = 0 // all cores
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable2(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,8 +92,9 @@ func BenchmarkTable2(b *testing.B) {
 // battery characterisation curve of Section 5.
 func BenchmarkLoadCapacityCurve(b *testing.B) {
 	cfg := experiments.QuickCurveConfig()
+	cfg.Parallel = 1 // measure the sequential path
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunLoadCapacityCurve(cfg); err != nil {
+		if _, err := experiments.RunLoadCapacityCurve(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,8 +215,9 @@ func BenchmarkStochasticLifetime(b *testing.B) {
 // accuracy of the X_k estimates changes the benefit of the pUBS ordering).
 func BenchmarkEstimateAblation(b *testing.B) {
 	cfg := experiments.QuickEstimateAblationConfig()
+	cfg.Parallel = 1 // measure the sequential path
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunEstimateAblation(cfg)
+		rows, err := experiments.RunEstimateAblation(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

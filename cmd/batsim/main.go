@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,15 +40,25 @@ func run(args []string, stdout io.Writer) error {
 		batteryName = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert")
 		curve       = fs.Bool("curve", false, "sweep constant loads and print the delivered-capacity curve for all models")
 		maxHours    = fs.Float64("max-hours", 72, "simulation horizon in hours")
+		parallel    = fs.Int("parallel", 0, "worker count for the -curve sweep (<= 0: all cores, 1: sequential)")
+		timeout     = fs.Duration("timeout", 0, "abort the -curve sweep after this duration (0: no limit; single -profile/-current runs are bounded by -max-hours instead)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *curve {
 		cfg := experiments.DefaultCurveConfig()
 		cfg.MaxHours = *maxHours
-		series, err := experiments.RunLoadCapacityCurve(cfg)
+		cfg.Parallel = *parallel
+		series, err := experiments.RunLoadCapacityCurve(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,13 @@
 //	-figure6  Figure 6 — ordering schemes vs a near-optimal baseline
 //	-table2   Table 2  — charge delivered and battery lifetime per scheme
 //	-curve    load vs delivered-capacity battery characterisation curve
-//	-all      everything above
+//	-grid     scenario grid: utilisation × battery model × scheme sweep
+//	-all      every paper experiment above
+//
+// Every experiment runs on the parallel job-grid harness; -parallel selects
+// the worker count (default: all cores) and the emitted tables are
+// byte-identical for any worker count with the same seed. -timeout bounds the
+// whole run, -progress reports per-job completion on stderr.
 //
 // The -quick flag runs reduced versions (the same configurations the
 // benchmark harness uses); the full versions match the parameters recorded in
@@ -13,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +36,29 @@ func main() {
 	}
 }
 
+// progressPrinter returns a RunOptions.Progress callback that rewrites one
+// stderr status line, and a done function that clears it.
+func progressPrinter(name string, enabled bool) (func(done, total int), func()) {
+	if !enabled {
+		return nil, func() {}
+	}
+	return func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs", name, done, total)
+		}, func() {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+}
+
+// applyRunnerFlags wires the shared -parallel/-progress flags into an
+// experiment's RunOptions and returns the function that clears the progress
+// line once the experiment finishes.
+func applyRunnerFlags(opts *experiments.RunOptions, name string, parallel int, progress bool) func() {
+	opts.Parallel = parallel
+	cb, clear := progressPrinter(name, progress)
+	opts.Progress = cb
+	return clear
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
@@ -37,23 +67,34 @@ func run(args []string, stdout io.Writer) error {
 		table2   = fs.Bool("table2", false, "regenerate Table 2")
 		curve    = fs.Bool("curve", false, "regenerate the load vs delivered-capacity curve")
 		ablation = fs.Bool("ablation", false, "run the estimate-quality ablation (not in the paper)")
-		all      = fs.Bool("all", false, "regenerate everything")
+		grid     = fs.Bool("grid", false, "run the scenario-grid sweep (utilisation x battery x scheme, not in the paper)")
+		all      = fs.Bool("all", false, "regenerate every paper experiment")
 		quick    = fs.Bool("quick", false, "use the reduced (benchmark) configurations")
 		seed     = fs.Int64("seed", 1, "random seed")
-		sets     = fs.Int("sets", 0, "override the number of task-graph sets (Table 2)")
+		sets     = fs.Int("sets", 0, "override the number of task-graph sets (Table 2 and grid)")
 		util     = fs.Float64("utilization", 0, "override the utilisation (Figure 6 and Table 2)")
 		battery  = fs.String("battery", "stochastic", "battery model for Table 2: stochastic, kibam, diffusion, peukert")
 		ccFig6   = fs.Bool("figure6-ccedf", false, "use ccEDF instead of laEDF for Figure 6 frequency setting")
 		oracle   = fs.Bool("oracle", false, "give pUBS perfect estimates of actual requirements (Table 2)")
+		parallel = fs.Int("parallel", 0, "worker count for the job-grid runner (<= 0: all cores, 1: sequential)")
+		timeout  = fs.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
+		progress = fs.Bool("progress", false, "report per-job progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*table1 && !*figure6 && !*table2 && !*curve && !*ablation {
+	if !*table1 && !*figure6 && !*table2 && !*curve && !*ablation && !*grid {
 		*all = true
 	}
 	if *all {
 		*table1, *figure6, *table2, *curve = true, true, true, true
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *table1 {
@@ -62,8 +103,10 @@ func run(args []string, stdout io.Writer) error {
 			cfg = experiments.QuickTable1Config()
 		}
 		cfg.Seed = *seed
+		clear := applyRunnerFlags(&cfg.RunOptions, "table1", *parallel, *progress)
 		start := time.Now()
-		rows, err := experiments.RunTable1(cfg)
+		rows, err := experiments.RunTable1(ctx, cfg)
+		clear()
 		if err != nil {
 			return err
 		}
@@ -78,11 +121,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Seed = *seed
 		cfg.UseCCEDF = *ccFig6
+		clear := applyRunnerFlags(&cfg.RunOptions, "figure6", *parallel, *progress)
 		if *util > 0 {
 			cfg.Utilization = *util
 		}
 		start := time.Now()
-		rows, err := experiments.RunFigure6(cfg)
+		rows, err := experiments.RunFigure6(ctx, cfg)
+		clear()
 		if err != nil {
 			return err
 		}
@@ -104,6 +149,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.BatteryName = *battery
 		cfg.Battery = nil
 		cfg.OracleEstimates = *oracle
+		clear := applyRunnerFlags(&cfg.RunOptions, "table2", *parallel, *progress)
 		if *sets > 0 {
 			cfg.Sets = *sets
 		}
@@ -111,7 +157,8 @@ func run(args []string, stdout io.Writer) error {
 			cfg.Utilization = *util
 		}
 		start := time.Now()
-		rows, err := experiments.RunTable2(cfg)
+		rows, err := experiments.RunTable2(ctx, cfg)
+		clear()
 		if err != nil {
 			return err
 		}
@@ -124,8 +171,10 @@ func run(args []string, stdout io.Writer) error {
 		if *quick {
 			cfg = experiments.QuickCurveConfig()
 		}
+		clear := applyRunnerFlags(&cfg.RunOptions, "curve", *parallel, *progress)
 		start := time.Now()
-		series, err := experiments.RunLoadCapacityCurve(cfg)
+		series, err := experiments.RunLoadCapacityCurve(ctx, cfg)
+		clear()
 		if err != nil {
 			return err
 		}
@@ -139,16 +188,38 @@ func run(args []string, stdout io.Writer) error {
 			cfg = experiments.QuickEstimateAblationConfig()
 		}
 		cfg.Seed = *seed
+		clear := applyRunnerFlags(&cfg.RunOptions, "ablation", *parallel, *progress)
 		if *util > 0 {
 			cfg.Utilization = *util
 		}
 		start := time.Now()
-		rows, err := experiments.RunEstimateAblation(cfg)
+		rows, err := experiments.RunEstimateAblation(ctx, cfg)
+		clear()
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.FormatEstimateAblation(rows))
 		fmt.Fprintf(stdout, "(%d sets, %.1fs)\n", cfg.Sets, time.Since(start).Seconds())
+	}
+
+	if *grid {
+		cfg := experiments.DefaultScenarioGridConfig()
+		if *quick {
+			cfg = experiments.QuickScenarioGridConfig()
+		}
+		cfg.Seed = *seed
+		clear := applyRunnerFlags(&cfg.RunOptions, "grid", *parallel, *progress)
+		if *sets > 0 {
+			cfg.Sets = *sets
+		}
+		start := time.Now()
+		rows, err := experiments.RunScenarioGrid(ctx, cfg)
+		clear()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatScenarioGrid(rows))
+		fmt.Fprintf(stdout, "(%d sets per cell, %.1fs)\n", cfg.Sets, time.Since(start).Seconds())
 	}
 	return nil
 }

@@ -42,3 +42,51 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("expected battery model error")
 	}
 }
+
+// stripTimings removes the "(... 0.3s)" timing lines, the only part of the
+// output that may legitimately differ between runs.
+func stripTimings(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "(") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestParallelByteIdenticalOutput is the CLI-level determinism guarantee:
+// the same seed emits byte-identical tables at any -parallel value.
+func TestParallelByteIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep skipped in -short mode")
+	}
+	args := []string{"-table2", "-grid", "-quick", "-battery", "kibam", "-seed", "7"}
+	var seq bytes.Buffer
+	if err := run(append([]string{"-parallel", "1"}, args...), &seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []string{"4", "13"} {
+		var par bytes.Buffer
+		if err := run(append([]string{"-parallel", parallel}, args...), &par); err != nil {
+			t.Fatal(err)
+		}
+		if stripTimings(seq.String()) != stripTimings(par.String()) {
+			t.Fatalf("-parallel %s output differs from -parallel 1:\n%s\n---\n%s", parallel, seq.String(), par.String())
+		}
+	}
+}
+
+// TestTimeoutFlag checks that an absurdly small -timeout aborts the run with
+// a context error instead of hanging.
+func TestTimeoutFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-table2", "-quick", "-timeout", "1ns"}, &buf)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -23,6 +23,28 @@
 // complete programs; the internal/experiments package regenerates the tables
 // and figures of the paper.
 //
+// # Parallel experiment runner
+//
+// Every stochastic sweep runs on a job-grid harness (internal/runner): the
+// experiment's (set × scheme × sweep-point) grid is enumerated as independent
+// jobs executed by a bounded worker pool. Each job derives its own random
+// stream from the experiment seed and its grid coordinates with a
+// SplitMix64-style mixer (DeriveSeed/SeededRNG), never from shared generator
+// state, and per-job results are folded in job order — so results are
+// byte-identical at any worker count:
+//
+//	go run ./cmd/experiments -table2            # all cores (the default)
+//	go run ./cmd/experiments -table2 -parallel 1  # sequential, same output
+//	go run ./cmd/experiments -all -progress -timeout 30m
+//
+// Experiment configurations embed ExperimentOptions (Parallel worker count,
+// Progress callback); cmd/experiments and cmd/batsim expose them as
+// -parallel, -timeout and -progress flags. The harness is exported for
+// custom sweeps via ParallelMap, NewJobGrid, DeriveSeed and SeededRNG, and
+// RunScenarioGrid sweeps the (utilisation × battery model × scheme) grid that
+// new workloads plug into; its jobs aggregate into per-job accumulators that
+// the fold combines with a mergeable Welford reduction rather than locks.
+//
 // # Quick start
 //
 //	g := battsched.NewGraph("T1", 0.1)           // period = deadline = 100 ms

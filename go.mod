@@ -1,0 +1,3 @@
+module battsched
+
+go 1.24

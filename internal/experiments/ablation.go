@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
+	"battsched/internal/runner"
 	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
@@ -30,6 +31,8 @@ type EstimateAblationConfig struct {
 	Hyperperiods int
 	// Seed makes the experiment reproducible.
 	Seed int64
+	// RunOptions tune the parallel execution of the per-set jobs.
+	RunOptions
 }
 
 // DefaultEstimateAblationConfig returns the default ablation configuration.
@@ -54,11 +57,19 @@ type EstimateAblationRow struct {
 	Samples int
 }
 
+// ablationSample is the result of one per-set job: the estimator variants'
+// energies (in variant order) normalised by the random-ordering baseline.
+type ablationSample struct {
+	normalised []float64
+	ok         bool
+}
+
 // RunEstimateAblation runs the estimate-quality ablation: BAS-2 (ccEDF + pUBS
 // over all released graphs, the configuration in which ordering effects are
 // fully visible) with a perfect oracle, a history estimator and a pessimistic
 // fixed estimator, each normalised by random ordering on the same workload.
-func RunEstimateAblation(cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
+// Each task-graph set runs as one job of the runner harness.
+func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -77,14 +88,13 @@ func RunEstimateAblation(cfg EstimateAblationConfig) ([]EstimateAblationRow, err
 		{"history (EWMA of past instances)", false, func() priority.Estimator { return priority.NewHistoryEstimator(0.5) }},
 		{"pessimistic (X_k = WCET)", false, func() priority.Estimator { return priority.OracleEstimator{Fraction: 1} }},
 	}
-	accs := make([]stats.Accumulator, len(variants))
 
-	for set := 0; set < cfg.Sets; set++ {
-		seed := cfg.Seed + int64(set)
-		rng := rand.New(rand.NewSource(seed))
+	samples, err := runner.Run(ctx, cfg.Sets, cfg.runnerOptions(), func(_ context.Context, set int) (ablationSample, error) {
+		seed := runner.SeedFor(cfg.Seed, int64(set))
+		rng := runner.RNG(cfg.Seed, int64(set))
 		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
 		if err != nil {
-			return nil, err
+			return ablationSample{}, err
 		}
 		runOne := func(prio priority.Function, oracle bool, est priority.Estimator) (*core.Result, error) {
 			return core.Run(core.Config{
@@ -103,11 +113,12 @@ func RunEstimateAblation(cfg EstimateAblationConfig) ([]EstimateAblationRow, err
 		}
 		baseline, err := runOne(priority.NewRandom(), false, nil)
 		if err != nil {
-			return nil, err
+			return ablationSample{}, err
 		}
 		if baseline.EnergyBattery <= 0 {
-			continue
+			return ablationSample{}, nil
 		}
+		sample := ablationSample{normalised: make([]float64, len(variants)), ok: true}
 		for i, v := range variants {
 			var est priority.Estimator
 			if v.estimator != nil {
@@ -115,15 +126,28 @@ func RunEstimateAblation(cfg EstimateAblationConfig) ([]EstimateAblationRow, err
 			}
 			res, err := runOne(priority.NewPUBS(), v.oracle, est)
 			if err != nil {
-				return nil, err
+				return ablationSample{}, err
 			}
 			if res.DeadlineMisses > 0 {
-				return nil, fmt.Errorf("experiments: ablation variant %q missed %d deadlines", v.name, res.DeadlineMisses)
+				return ablationSample{}, fmt.Errorf("experiments: ablation variant %q missed %d deadlines", v.name, res.DeadlineMisses)
 			}
-			accs[i].Add(res.EnergyBattery / baseline.EnergyBattery)
+			sample.normalised[i] = res.EnergyBattery / baseline.EnergyBattery
 		}
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	accs := make([]stats.Accumulator, len(variants))
+	for _, sample := range samples {
+		if !sample.ok {
+			continue
+		}
+		for i, v := range sample.normalised {
+			accs[i].Add(v)
+		}
+	}
 	rows := make([]EstimateAblationRow, len(variants))
 	for i, v := range variants {
 		rows[i] = EstimateAblationRow{Estimator: v.name, EnergyVsRandom: accs[i].Mean(), Samples: accs[i].N()}

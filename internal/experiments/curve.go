@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"battsched/internal/battery"
+	"battsched/internal/runner"
 )
 
 // CurveConfig parameterises the load versus delivered-capacity battery
@@ -19,6 +21,8 @@ type CurveConfig struct {
 	Currents []float64
 	// MaxHours caps each constant-load simulation.
 	MaxHours float64
+	// RunOptions tune the parallel execution of the (model × current) grid.
+	RunOptions
 }
 
 // DefaultCurveConfig returns the default sweep.
@@ -45,8 +49,10 @@ type CurveSeries struct {
 	Points []battery.CurvePoint
 }
 
-// RunLoadCapacityCurve sweeps constant loads for each requested battery model.
-func RunLoadCapacityCurve(cfg CurveConfig) ([]CurveSeries, error) {
+// RunLoadCapacityCurve sweeps constant loads for each requested battery
+// model. Each (model, current) cell is one job of the runner harness: a fresh
+// battery instance simulated to exhaustion at that constant load.
+func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, error) {
 	if len(cfg.Models) == 0 {
 		cfg.Models = DefaultCurveConfig().Models
 	}
@@ -61,17 +67,31 @@ func RunLoadCapacityCurve(cfg CurveConfig) ([]CurveSeries, error) {
 			return nil, fmt.Errorf("%w: non-positive current %v", ErrBadConfig, c)
 		}
 	}
-	out := make([]CurveSeries, 0, len(cfg.Models))
-	for _, name := range cfg.Models {
-		factory, err := NamedBatteryFactory(name)
+	factories, err := resolveBatteryFactories(cfg.Models)
+	if err != nil {
+		return nil, err
+	}
+
+	grid := runner.NewGrid(len(cfg.Models), len(cfg.Currents))
+	points, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (battery.CurvePoint, error) {
+		c := grid.Coords(idx)
+		pts, err := battery.DeliveredCapacityCurve(factories[c[0]](), []float64{cfg.Currents[c[1]]}, cfg.MaxHours*3600)
 		if err != nil {
-			return nil, err
+			return battery.CurvePoint{}, err
 		}
-		points, err := battery.DeliveredCapacityCurve(factory(), cfg.Currents, cfg.MaxHours*3600)
-		if err != nil {
-			return nil, err
+		return pts[0], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]CurveSeries, len(cfg.Models))
+	for mi, name := range cfg.Models {
+		series := CurveSeries{Model: name, Points: make([]battery.CurvePoint, len(cfg.Currents))}
+		for ci := range cfg.Currents {
+			series.Points[ci] = points[grid.Index(mi, ci)]
 		}
-		out = append(out, CurveSeries{Model: name, Points: points})
+		out[mi] = series
 	}
 	return out, nil
 }

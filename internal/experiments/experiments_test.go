@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"errors"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -28,7 +31,7 @@ func TestNamedBatteryFactory(t *testing.T) {
 
 func TestRunTable1Quick(t *testing.T) {
 	cfg := QuickTable1Config()
-	rows, err := RunTable1(cfg)
+	rows, err := RunTable1(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestRunTable1Quick(t *testing.T) {
 }
 
 func TestRunTable1Validation(t *testing.T) {
-	if _, err := RunTable1(Table1Config{}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunTable1(context.Background(), Table1Config{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -68,7 +71,7 @@ func TestRunTable1Validation(t *testing.T) {
 func TestRunFigure6Quick(t *testing.T) {
 	cfg := QuickFigure6Config()
 	cfg.UseCCEDF = true // the ordering-scheme separation is robust with ccEDF
-	rows, err := RunFigure6(cfg)
+	rows, err := RunFigure6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestRunFigure6Quick(t *testing.T) {
 }
 
 func TestRunFigure6Validation(t *testing.T) {
-	if _, err := RunFigure6(Figure6Config{}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunFigure6(context.Background(), Figure6Config{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -108,7 +111,7 @@ func TestRunTable2Quick(t *testing.T) {
 	cfg := QuickTable2Config()
 	cfg.Battery = nil
 	cfg.BatteryName = "kibam"
-	rows, err := RunTable2(cfg)
+	rows, err := RunTable2(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,19 +156,19 @@ func TestRunTable2Quick(t *testing.T) {
 }
 
 func TestRunTable2Validation(t *testing.T) {
-	if _, err := RunTable2(Table2Config{}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunTable2(context.Background(), Table2Config{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
 	bad := DefaultTable2Config()
 	bad.Sets = 1
 	bad.BatteryName = "bogus"
-	if _, err := RunTable2(bad); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunTable2(context.Background(), bad); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("bogus battery err = %v", err)
 	}
 }
 
 func TestRunLoadCapacityCurve(t *testing.T) {
-	series, err := RunLoadCapacityCurve(QuickCurveConfig())
+	series, err := RunLoadCapacityCurve(context.Background(), QuickCurveConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestRunLoadCapacityCurve(t *testing.T) {
 }
 
 func TestRunEstimateAblation(t *testing.T) {
-	rows, err := RunEstimateAblation(QuickEstimateAblationConfig())
+	rows, err := RunEstimateAblation(context.Background(), QuickEstimateAblationConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,21 +227,212 @@ func TestRunEstimateAblation(t *testing.T) {
 }
 
 func TestRunEstimateAblationValidation(t *testing.T) {
-	if _, err := RunEstimateAblation(EstimateAblationConfig{}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunEstimateAblation(context.Background(), EstimateAblationConfig{}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunLoadCapacityCurveValidation(t *testing.T) {
-	if _, err := RunLoadCapacityCurve(CurveConfig{Currents: []float64{-1}}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunLoadCapacityCurve(context.Background(), CurveConfig{Currents: []float64{-1}}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := RunLoadCapacityCurve(CurveConfig{Models: []string{"bogus"}}); !errors.Is(err, ErrBadConfig) {
+	if _, err := RunLoadCapacityCurve(context.Background(), CurveConfig{Models: []string{"bogus"}}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("err = %v", err)
 	}
 	// Empty config gets defaults applied; just check it does not error when
 	// restricted to one cheap model and current.
-	if _, err := RunLoadCapacityCurve(CurveConfig{Models: []string{"peukert"}, Currents: []float64{1}}); err != nil {
+	if _, err := RunLoadCapacityCurve(context.Background(), CurveConfig{Models: []string{"peukert"}, Currents: []float64{1}}); err != nil {
 		t.Fatalf("defaults err = %v", err)
+	}
+}
+
+// TestTable1ParallelDeterminism is the harness's core guarantee: the same
+// seed produces identical Table 1 rows at any worker count.
+func TestTable1ParallelDeterminism(t *testing.T) {
+	cfg := QuickTable1Config()
+	cfg.Parallel = 1
+	seq, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 8
+	par, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("rows differ across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if FormatTable1(seq) != FormatTable1(par) {
+		t.Fatal("formatted tables differ across worker counts")
+	}
+}
+
+// TestTable2ParallelDeterminism checks byte-identical Table 2 output at
+// -parallel 1 and -parallel 8.
+func TestTable2ParallelDeterminism(t *testing.T) {
+	cfg := QuickTable2Config()
+	cfg.BatteryName = "kibam"
+	cfg.Parallel = 1
+	seq, err := RunTable2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Battery = nil // force the factory to be re-resolved in a fresh config
+	cfg.Parallel = 8
+	par, err := RunTable2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("rows differ across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if FormatTable2(seq, "kibam", cfg.Utilization) != FormatTable2(par, "kibam", cfg.Utilization) {
+		t.Fatal("formatted tables differ across worker counts")
+	}
+}
+
+// TestFigure6AndAblationParallelDeterminism checks Figure 6 and the ablation
+// across worker counts.
+func TestFigure6AndAblationParallelDeterminism(t *testing.T) {
+	fcfg := QuickFigure6Config()
+	fcfg.Parallel = 1
+	seq, err := RunFigure6(context.Background(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg.Parallel = 8
+	par, err := RunFigure6(context.Background(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("figure 6 rows differ across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	acfg := QuickEstimateAblationConfig()
+	acfg.Parallel = 1
+	aseq, err := RunEstimateAblation(context.Background(), acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg.Parallel = 8
+	apar, err := RunEstimateAblation(context.Background(), acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aseq, apar) {
+		t.Fatalf("ablation rows differ across worker counts:\nseq: %+v\npar: %+v", aseq, apar)
+	}
+}
+
+// TestExperimentProgressAndCancellation exercises the runner wiring: progress
+// callbacks fire once per job and a cancelled context aborts the sweep.
+func TestExperimentProgressAndCancellation(t *testing.T) {
+	cfg := QuickCurveConfig()
+	var last, calls int
+	cfg.Progress = func(done, total int) {
+		last = done
+		calls++
+		if total != len(cfg.Models)*len(cfg.Currents) {
+			t.Errorf("total = %d", total)
+		}
+	}
+	if _, err := RunLoadCapacityCurve(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Models) * len(cfg.Currents); calls != want || last != want {
+		t.Fatalf("progress calls = %d last = %d, want %d", calls, last, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTable2(ctx, QuickTable2Config()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx err = %v", err)
+	}
+}
+
+// TestRunScenarioGrid checks the scenario-grid sweep: shape, comparability of
+// the schemes, and independence from both worker count and chunk size (the
+// latter exercises stats.Accumulator.Merge on real partials).
+func TestRunScenarioGrid(t *testing.T) {
+	cfg := QuickScenarioGridConfig()
+	cfg.SetsPerJob = 1
+	cfg.Parallel = 8
+	rows, err := RunScenarioGrid(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Utilizations)*len(cfg.Batteries)*len(cfg.Schemes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byScheme := map[string]ScenarioGridRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		if r.Charge.N != cfg.Sets {
+			t.Fatalf("%s: sets = %d, want %d", r.Scheme, r.Charge.N, cfg.Sets)
+		}
+		if r.Charge.Mean <= 0 || r.Life.Mean <= 0 {
+			t.Fatalf("%s: non-positive cell %+v", r.Scheme, r)
+		}
+		if r.DeadlineMisses != 0 {
+			t.Fatalf("%s: %d deadline misses at utilisation %.2f", r.Scheme, r.DeadlineMisses, r.Utilization)
+		}
+	}
+	if byScheme["BAS-2"].Life.Mean <= byScheme["EDF"].Life.Mean {
+		t.Fatalf("BAS-2 lifetime %v not above EDF lifetime %v", byScheme["BAS-2"].Life.Mean, byScheme["EDF"].Life.Mean)
+	}
+
+	// Same chunking, sequential execution: byte-identical rows.
+	cfg2 := cfg
+	cfg2.Parallel = 1
+	rows2, err := RunScenarioGrid(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, rows2) {
+		t.Fatalf("rows differ across worker counts:\n%+v\n%+v", rows, rows2)
+	}
+	// Different chunking reassociates the Welford merge: equal up to
+	// floating-point rounding.
+	cfg3 := cfg
+	cfg3.SetsPerJob = 3
+	rows3, err := RunScenarioGrid(context.Background(), cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		a, b := rows[i], rows3[i]
+		if a.Charge.N != b.Charge.N ||
+			math.Abs(a.Charge.Mean-b.Charge.Mean) > 1e-9*a.Charge.Mean ||
+			math.Abs(a.Life.Mean-b.Life.Mean) > 1e-9*a.Life.Mean {
+			t.Fatalf("row %d differs beyond rounding across chunking:\n%+v\n%+v", i, a, b)
+		}
+	}
+	out := FormatScenarioGrid(rows)
+	if !strings.Contains(out, "Scenario grid") || !strings.Contains(out, "BAS-2") {
+		t.Fatalf("FormatScenarioGrid output unexpected:\n%s", out)
+	}
+}
+
+// TestRunScenarioGridValidation covers the config validation paths.
+func TestRunScenarioGridValidation(t *testing.T) {
+	if _, err := RunScenarioGrid(context.Background(), ScenarioGridConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := QuickScenarioGridConfig()
+	bad.Utilizations = []float64{1.5}
+	if _, err := RunScenarioGrid(context.Background(), bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("utilisation err = %v", err)
+	}
+	bad = QuickScenarioGridConfig()
+	bad.Schemes = []string{"bogus"}
+	if _, err := RunScenarioGrid(context.Background(), bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("scheme err = %v", err)
+	}
+	bad = QuickScenarioGridConfig()
+	bad.Batteries = []string{"bogus"}
+	if _, err := RunScenarioGrid(context.Background(), bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("battery err = %v", err)
 	}
 }

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
+	"battsched/internal/runner"
 	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
@@ -38,6 +39,8 @@ type Figure6Config struct {
 	Hyperperiods int
 	// Seed makes the experiment reproducible.
 	Seed int64
+	// RunOptions tune the parallel execution of the (count × set) grid.
+	RunOptions
 }
 
 // DefaultFigure6Config returns the paper's configuration (laEDF frequency
@@ -74,8 +77,37 @@ type Figure6Row struct {
 	Samples         int
 }
 
-// RunFigure6 regenerates Figure 6.
-func RunFigure6(cfg Figure6Config) ([]Figure6Row, error) {
+// figure6Schemes are the ordering schemes of Figure 6 in column order.
+type figure6Scheme struct {
+	name   string
+	prio   func() priority.Function
+	policy core.ReadyPolicy
+}
+
+func figure6Schemes() []figure6Scheme {
+	random := func() priority.Function { return priority.NewRandom() }
+	ltf := func() priority.Function { return priority.NewLTF() }
+	pubs := func() priority.Function { return priority.NewPUBS() }
+	return []figure6Scheme{
+		{"random", random, core.MostImminentOnly},
+		{"ltf", ltf, core.MostImminentOnly},
+		{"pubs-imminent", pubs, core.MostImminentOnly},
+		{"pubs-all", pubs, core.AllReleased},
+	}
+}
+
+// figure6Sample is the result of one (graph count, set) job: the energies of
+// the ordering schemes (indexed like figure6Schemes) normalised by the
+// precedence-free near-optimal baseline of the same workload.
+type figure6Sample struct {
+	normalised []float64
+	ok         bool
+}
+
+// RunFigure6 regenerates Figure 6. The (graph count × set) grid runs as
+// independent jobs; each job simulates the baseline and the four ordering
+// schemes on its own workload.
+func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 	if len(cfg.GraphCounts) == 0 || cfg.SetsPerCount <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -89,50 +121,56 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Row, error) {
 		}
 		return dvs.NewLAEDF()
 	}
+	schemes := figure6Schemes()
 
-	type scheme struct {
-		name   string
-		prio   priority.Function
-		policy core.ReadyPolicy
-	}
-	schemes := []scheme{
-		{"random", priority.NewRandom(), core.MostImminentOnly},
-		{"ltf", priority.NewLTF(), core.MostImminentOnly},
-		{"pubs-imminent", priority.NewPUBS(), core.MostImminentOnly},
-		{"pubs-all", priority.NewPUBS(), core.AllReleased},
+	grid := runner.NewGrid(len(cfg.GraphCounts), cfg.SetsPerCount)
+	samples, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (figure6Sample, error) {
+		c := grid.Coords(idx)
+		count, set := cfg.GraphCounts[c[0]], c[1]
+		seed := runner.SeedFor(cfg.Seed, int64(count), int64(set))
+		rng := runner.RNG(cfg.Seed, int64(count), int64(set))
+		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), count, cfg.Utilization, proc.FMax(), rng)
+		if err != nil {
+			return figure6Sample{}, err
+		}
+		// Near-optimal baseline: same workload with precedence removed,
+		// scheduled with pUBS over all released graphs and oracle estimates.
+		baseline, err := runScheme(sys.Clone(), alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, seed, true)
+		if err != nil {
+			return figure6Sample{}, err
+		}
+		if baseline.EnergyBattery <= 0 {
+			return figure6Sample{}, nil
+		}
+		sample := figure6Sample{normalised: make([]float64, len(schemes)), ok: true}
+		for i, s := range schemes {
+			res, err := runScheme(sys.Clone(), alg(), s.prio(), s.policy, false, cfg.OracleEstimates, cfg, seed, true)
+			if err != nil {
+				return figure6Sample{}, err
+			}
+			if res.DeadlineMisses > 0 {
+				return figure6Sample{}, fmt.Errorf("experiments: figure 6 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+			}
+			sample.normalised[i] = res.EnergyBattery / baseline.EnergyBattery
+		}
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	rows := make([]Figure6Row, 0, len(cfg.GraphCounts))
-	for _, count := range cfg.GraphCounts {
+	for ci, count := range cfg.GraphCounts {
 		accs := make([]stats.Accumulator, len(schemes))
-		samples := 0
+		samplesOK := 0
 		for set := 0; set < cfg.SetsPerCount; set++ {
-			seed := cfg.Seed + int64(count*1000+set)
-			rng := rand.New(rand.NewSource(seed))
-			sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), count, cfg.Utilization, proc.FMax(), rng)
-			if err != nil {
-				return nil, err
-			}
-			// Near-optimal baseline: same workload with precedence removed,
-			// scheduled with pUBS over all released graphs and oracle
-			// estimates.
-			baseline, err := runScheme(sys.Clone(), alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, seed, true)
-			if err != nil {
-				return nil, err
-			}
-			if baseline.EnergyBattery <= 0 {
+			sample := samples[grid.Index(ci, set)]
+			if !sample.ok {
 				continue
 			}
-			samples++
-			for i, s := range schemes {
-				res, err := runScheme(sys.Clone(), alg(), s.prio, s.policy, false, cfg.OracleEstimates, cfg, seed, true)
-				if err != nil {
-					return nil, err
-				}
-				if res.DeadlineMisses > 0 {
-					return nil, fmt.Errorf("experiments: figure 6 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
-				}
-				accs[i].Add(res.EnergyBattery / baseline.EnergyBattery)
+			samplesOK++
+			for i, v := range sample.normalised {
+				accs[i].Add(v)
 			}
 		}
 		rows = append(rows, Figure6Row{
@@ -141,7 +179,7 @@ func RunFigure6(cfg Figure6Config) ([]Figure6Row, error) {
 			LTF:             accs[1].Mean(),
 			PUBSImminent:    accs[2].Mean(),
 			PUBSAllReleased: accs[3].Mean(),
-			Samples:         samples,
+			Samples:         samplesOK,
 		})
 	}
 	return rows, nil

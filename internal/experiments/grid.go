@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"battsched/internal/battery"
+	"battsched/internal/core"
+	"battsched/internal/runner"
+	"battsched/internal/stats"
+	"battsched/internal/taskgraph"
+	"battsched/internal/tgff"
+)
+
+// ScenarioGridConfig parameterises the scenario-grid sweep: the cross product
+// of utilisations × battery models × scheduling schemes, each cell averaged
+// over Sets random task-graph sets. It generalises Table 2 (which is the
+// single cell utilisation 0.7 × stochastic × all schemes) into the entry
+// point new workloads plug into.
+type ScenarioGridConfig struct {
+	// Utilizations are the worst-case utilisation points to sweep.
+	Utilizations []float64
+	// Batteries are the battery model names to sweep (NamedBatteryFactory
+	// names); empty selects the paper's stochastic model only.
+	Batteries []string
+	// Schemes are the scheme names to sweep (a subset of the paper's Table 2
+	// scheme names); empty selects all five.
+	Schemes []string
+	// Sets is the number of random task-graph sets averaged per cell.
+	Sets int
+	// SetsPerJob chunks the sets of one cell into jobs: each job simulates a
+	// chunk sequentially and returns mergeable accumulators (0 selects a
+	// default chunk size). For a fixed SetsPerJob results are byte-identical
+	// at any Parallel value; changing SetsPerJob reassociates the
+	// floating-point reduction and may shift results by rounding error only.
+	SetsPerJob int
+	// GraphsPerSet is the number of task graphs per set.
+	GraphsPerSet int
+	// Hyperperiods simulated per set.
+	Hyperperiods int
+	// MaxBatteryHours caps each battery lifetime simulation.
+	MaxBatteryHours float64
+	// OracleEstimates feeds pUBS the true actual requirements.
+	OracleEstimates bool
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// RunOptions tune the parallel execution of the scenario grid.
+	RunOptions
+}
+
+// DefaultScenarioGridConfig returns a moderate three-utilisation sweep over
+// two battery models and all five schemes.
+func DefaultScenarioGridConfig() ScenarioGridConfig {
+	return ScenarioGridConfig{
+		Utilizations:    []float64{0.5, 0.7, 0.9},
+		Batteries:       []string{"stochastic", "kibam"},
+		Sets:            10,
+		GraphsPerSet:    5,
+		Hyperperiods:    2,
+		MaxBatteryHours: 72,
+		Seed:            1,
+	}
+}
+
+// QuickScenarioGridConfig returns a reduced sweep for tests and benchmarks.
+func QuickScenarioGridConfig() ScenarioGridConfig {
+	return ScenarioGridConfig{
+		Utilizations:    []float64{0.7},
+		Batteries:       []string{"kibam"},
+		Schemes:         []string{"EDF", "BAS-2"},
+		Sets:            3,
+		GraphsPerSet:    3,
+		Hyperperiods:    2,
+		MaxBatteryHours: 72,
+		Seed:            1,
+	}
+}
+
+// ScenarioGridRow is one cell of the scenario grid.
+type ScenarioGridRow struct {
+	// Utilization, Battery and Scheme identify the cell.
+	Utilization float64
+	Battery     string
+	Scheme      string
+	// Charge and Life summarise delivered charge (mAh) and battery lifetime
+	// (minutes) over the cell's task-graph sets.
+	Charge stats.Summary
+	Life   stats.Summary
+	// DeadlineMisses is the total deadline misses across the cell's
+	// simulations (always 0 for the paper's schemes at feasible utilisations;
+	// reported instead of failing so exploratory sweeps can chart the edge).
+	DeadlineMisses int
+}
+
+// scenarioPartial is the mergeable result of one set-chunk job: per-battery
+// charge/lifetime accumulators (indexed like ScenarioGridConfig.Batteries)
+// plus the chunk's deadline misses. Battery models are not a job dimension —
+// the scheduling simulation does not depend on the battery, so each job
+// computes one load profile per set and evaluates every battery against it.
+type scenarioPartial struct {
+	charge, life []stats.Accumulator
+	misses       int
+}
+
+// schemesByName resolves scheme names against the paper's Table 2 schemes;
+// empty names selects all of them.
+func schemesByName(names []string) ([]table2Scheme, error) {
+	all := paperSchemes()
+	if len(names) == 0 {
+		return all, nil
+	}
+	out := make([]table2Scheme, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, s := range all {
+			if s.name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, s := range all {
+				known[i] = s.name
+			}
+			return nil, fmt.Errorf("%w: unknown scheme %q (known: %s)", ErrBadConfig, name, strings.Join(known, ", "))
+		}
+	}
+	return out, nil
+}
+
+// RunScenarioGrid sweeps the (utilisation × battery × scheme) grid. Jobs are
+// (utilisation × scheme × set-chunk) cells: a job schedules its chunk of sets
+// sequentially and evaluates every battery model against each set's load
+// profile (the profile does not depend on the battery, so batteries share the
+// scheduling work). Per-job accumulators are merged in chunk order
+// (stats.Accumulator.Merge), so the sweep is deterministic at any
+// parallelism.
+//
+// Within one utilisation point, every (battery, scheme) cell replays the same
+// task-graph sets and actual execution requirements — the set seed depends
+// only on (Seed, utilisation index, set) — so cells are directly comparable
+// across schemes and battery models.
+func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGridRow, error) {
+	if len(cfg.Utilizations) == 0 || cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	for _, u := range cfg.Utilizations {
+		if u <= 0 || u > 1 {
+			return nil, fmt.Errorf("%w: utilisation %v", ErrBadConfig, u)
+		}
+	}
+	if cfg.Hyperperiods <= 0 {
+		cfg.Hyperperiods = 1
+	}
+	if cfg.MaxBatteryHours <= 0 {
+		cfg.MaxBatteryHours = 72
+	}
+	if cfg.SetsPerJob <= 0 {
+		cfg.SetsPerJob = 4
+	}
+	if len(cfg.Batteries) == 0 {
+		cfg.Batteries = []string{"stochastic"}
+	}
+	schemes, err := schemesByName(cfg.Schemes)
+	if err != nil {
+		return nil, err
+	}
+	factories, err := resolveBatteryFactories(cfg.Batteries)
+	if err != nil {
+		return nil, err
+	}
+	proc := defaultProcessor()
+	chunks := (cfg.Sets + cfg.SetsPerJob - 1) / cfg.SetsPerJob
+
+	grid := runner.NewGrid(len(cfg.Utilizations), len(schemes), chunks)
+	partials, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (scenarioPartial, error) {
+		c := grid.Coords(idx)
+		ui, si, chunk := c[0], c[1], c[2]
+		util := cfg.Utilizations[ui]
+		scheme := schemes[si]
+		part := scenarioPartial{
+			charge: make([]stats.Accumulator, len(factories)),
+			life:   make([]stats.Accumulator, len(factories)),
+		}
+		lo := chunk * cfg.SetsPerJob
+		hi := min(lo+cfg.SetsPerJob, cfg.Sets)
+		for set := lo; set < hi; set++ {
+			// The workload seed is shared by every (battery, scheme) cell of
+			// this utilisation point so cells stay comparable.
+			seed := runner.SeedFor(cfg.Seed, int64(ui), int64(set))
+			sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, util, proc.FMax(), runner.RNG(cfg.Seed, int64(ui), int64(set)))
+			if err != nil {
+				return scenarioPartial{}, err
+			}
+			res, err := core.Run(core.Config{
+				System:          sys,
+				Processor:       proc,
+				DVS:             scheme.alg(),
+				Priority:        scheme.prio(),
+				ReadyPolicy:     scheme.policy,
+				FrequencyMode:   core.DiscreteFrequency,
+				OracleEstimates: cfg.OracleEstimates,
+				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
+				Hyperperiods:    cfg.Hyperperiods,
+				Seed:            seed,
+			})
+			if err != nil {
+				return scenarioPartial{}, err
+			}
+			part.misses += res.DeadlineMisses
+			// The load profile is battery-independent; evaluate every battery
+			// model against the one profile instead of re-scheduling per model.
+			for bi, factory := range factories {
+				br, err := battery.SimulateUntilExhausted(factory(), res.Profile, battery.SimulateOptions{
+					MaxTime: cfg.MaxBatteryHours * 3600,
+					MaxStep: 2,
+				})
+				if err != nil {
+					return scenarioPartial{}, err
+				}
+				part.charge[bi].Add(br.DeliveredMAh())
+				part.life[bi].Add(br.LifetimeMinutes())
+			}
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]ScenarioGridRow, 0, len(cfg.Utilizations)*len(cfg.Batteries)*len(schemes))
+	for ui, util := range cfg.Utilizations {
+		for bi, bat := range cfg.Batteries {
+			for si, scheme := range schemes {
+				var charge, life stats.Accumulator
+				misses := 0
+				for chunk := 0; chunk < chunks; chunk++ {
+					part := partials[grid.Index(ui, si, chunk)]
+					charge.Merge(part.charge[bi])
+					life.Merge(part.life[bi])
+					// The scheduling simulations are shared across batteries,
+					// so every battery row of a (utilisation, scheme) cell
+					// reports the misses of the same underlying runs.
+					misses += part.misses
+				}
+				rows = append(rows, ScenarioGridRow{
+					Utilization:    util,
+					Battery:        bat,
+					Scheme:         scheme.name,
+					Charge:         charge.Summary(),
+					Life:           life.Summary(),
+					DeadlineMisses: misses,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatScenarioGrid renders the scenario-grid rows as a plain-text table.
+func FormatScenarioGrid(rows []ScenarioGridRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Scenario grid: utilisation x battery model x scheme")
+	fmt.Fprintln(&b, "Util | Battery    | Scheme            | Charge (mAh) ±CI95 | Life (min) ±CI95 | sets | misses")
+	fmt.Fprintln(&b, "-----+------------+-------------------+--------------------+------------------+------+-------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4.2f | %-10s | %-17s | %12.0f ±%4.0f | %10.1f ±%4.1f | %4d | %6d\n",
+			r.Utilization, r.Battery, r.Scheme, r.Charge.Mean, r.Charge.CI95, r.Life.Mean, r.Life.CI95, r.Charge.N, r.DeadlineMisses)
+	}
+	return b.String()
+}

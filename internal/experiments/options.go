@@ -1,0 +1,27 @@
+package experiments
+
+import "battsched/internal/runner"
+
+// RunOptions are the execution knobs shared by every experiment driver. They
+// are embedded in each experiment's config, so the zero value (full
+// parallelism, no progress reporting) is always usable.
+//
+// All experiments enumerate their (set × scheme × sweep-point) grid as
+// independent jobs of the internal/runner harness. Each job derives its own
+// random stream from the experiment seed and its grid coordinates, and the
+// per-job results are folded in job order, so every experiment is
+// byte-identical at any Parallel value.
+type RunOptions struct {
+	// Parallel is the worker-pool size; <= 0 selects runtime.GOMAXPROCS(0)
+	// and 1 forces sequential execution.
+	Parallel int
+	// Progress, when non-nil, is called after each completed job with the
+	// completed and total job counts. It must be fast and is called from
+	// worker goroutines (serialised).
+	Progress func(done, total int)
+}
+
+// runnerOptions translates the experiment knobs for the runner harness.
+func (o RunOptions) runnerOptions() runner.Options {
+	return runner.Options{Parallelism: o.Parallel, Progress: o.Progress}
+}

@@ -2,19 +2,28 @@
 // evaluation section: Table 1 (ordering heuristics versus the optimal order
 // on single task graphs), Figure 6 (ordering schemes versus a near-optimal
 // baseline as the number of task graphs grows), Table 2 (charge delivered and
-// battery lifetime of the five scheduling schemes) and the load versus
-// delivered-capacity battery characterisation curve. Every experiment is
-// seeded and deterministic, has a "quick" variant used by the benchmark
-// harness, and renders to plain-text tables via the Format* helpers.
+// battery lifetime of the five scheduling schemes), the load versus
+// delivered-capacity battery characterisation curve, and a scenario-grid
+// sweep (utilisation × battery model × scheme) beyond the paper. Every
+// experiment is seeded and deterministic, has a "quick" variant used by the
+// benchmark harness, and renders to plain-text tables via the Format*
+// helpers.
+//
+// All experiments run on the internal/runner job-grid harness: the
+// (set × scheme × sweep-point) grid is enumerated as independent jobs, each
+// job owns a random stream derived from the experiment seed and its grid
+// coordinates, and per-job results are folded in job order — so results are
+// byte-identical at any RunOptions.Parallel value.
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"battsched/internal/optimal"
 	"battsched/internal/priority"
+	"battsched/internal/runner"
 	"battsched/internal/stats"
 	"battsched/internal/tgff"
 )
@@ -43,6 +52,8 @@ type Table1Config struct {
 	MaxExpansions int
 	// Seed makes the experiment reproducible.
 	Seed int64
+	// RunOptions tune the parallel execution of the (count × graph) grid.
+	RunOptions
 }
 
 // DefaultTable1Config returns the paper's configuration.
@@ -85,67 +96,98 @@ type Table1Row struct {
 // ErrBadConfig is returned for invalid experiment configurations.
 var ErrBadConfig = errors.New("experiments: invalid configuration")
 
-// RunTable1 regenerates Table 1.
-func RunTable1(cfg Table1Config) ([]Table1Row, error) {
+// table1Sample is the result of one (task count, graph) job.
+type table1Sample struct {
+	random, ltf, pubs float64
+	ok                bool
+	incomplete        bool
+}
+
+// RunTable1 regenerates Table 1. The (task count × graph) grid runs as
+// independent jobs; each job derives its generator from (Seed, task count,
+// graph index), so rows are identical at any parallelism.
+func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	if len(cfg.TaskCounts) == 0 || cfg.GraphsPerCount <= 0 || cfg.FMax <= 0 ||
 		cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	gen := tgff.DefaultConfig()
 	gen.EdgeProbability = cfg.EdgeProbability
-	rows := make([]Table1Row, 0, len(cfg.TaskCounts))
 
-	for _, n := range cfg.TaskCounts {
+	grid := runner.NewGrid(len(cfg.TaskCounts), cfg.GraphsPerCount)
+	samples, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (table1Sample, error) {
+		c := grid.Coords(idx)
+		n, s := cfg.TaskCounts[c[0]], c[1]
+		rng := runner.RNG(cfg.Seed, int64(n), int64(s))
+		g, err := tgff.GenerateWithNodes(gen, fmt.Sprintf("t1-%d-%d", n, s), n, rng)
+		if err != nil {
+			return table1Sample{}, err
+		}
+		// Deadline chosen so the DAG's worst-case load is cfg.Utilization.
+		deadline := g.TotalWCET() / (cfg.FMax * cfg.Utilization)
+		actuals := make([]float64, n)
+		for i := range actuals {
+			frac := cfg.ActualMin + rng.Float64()*(cfg.ActualMax-cfg.ActualMin)
+			actuals[i] = frac * g.Nodes[i].WCET
+		}
+		params := optimal.Params{Deadline: deadline, FMax: cfg.FMax, Actuals: actuals}
+
+		var sample table1Sample
+		opt, err := optimal.OptimalOrder(g, params, cfg.MaxExpansions)
+		if err != nil {
+			if !errors.Is(err, optimal.ErrSearchBudget) {
+				return table1Sample{}, err
+			}
+			sample.incomplete = true
+		}
+		randEv, err := optimal.RandomOrder(g, params, rng)
+		if err != nil {
+			return table1Sample{}, err
+		}
+		ltfEv, err := optimal.GreedyOrder(g, priority.NewLTF(), params, nil, nil)
+		if err != nil {
+			return table1Sample{}, err
+		}
+		pubsEv, err := optimal.GreedyOrder(g, priority.NewPUBS(), params, actuals, nil)
+		if err != nil {
+			return table1Sample{}, err
+		}
+		// Guard against an incomplete search being beaten by a heuristic:
+		// normalise by the best schedule seen.
+		best := opt.Best.Energy
+		for _, e := range []float64{randEv.Energy, ltfEv.Energy, pubsEv.Energy} {
+			if e < best {
+				best = e
+			}
+		}
+		if best <= 0 {
+			return sample, nil
+		}
+		sample.ok = true
+		sample.random = randEv.Energy / best
+		sample.ltf = ltfEv.Energy / best
+		sample.pubs = pubsEv.Energy / best
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table1Row, 0, len(cfg.TaskCounts))
+	for ci, n := range cfg.TaskCounts {
 		var randAcc, ltfAcc, pubsAcc stats.Accumulator
 		incomplete := 0
 		for s := 0; s < cfg.GraphsPerCount; s++ {
-			g, err := tgff.GenerateWithNodes(gen, fmt.Sprintf("t1-%d-%d", n, s), n, rng)
-			if err != nil {
-				return nil, err
-			}
-			// Deadline chosen so the DAG's worst-case load is cfg.Utilization.
-			deadline := g.TotalWCET() / (cfg.FMax * cfg.Utilization)
-			actuals := make([]float64, n)
-			for i := range actuals {
-				frac := cfg.ActualMin + rng.Float64()*(cfg.ActualMax-cfg.ActualMin)
-				actuals[i] = frac * g.Nodes[i].WCET
-			}
-			params := optimal.Params{Deadline: deadline, FMax: cfg.FMax, Actuals: actuals}
-
-			opt, err := optimal.OptimalOrder(g, params, cfg.MaxExpansions)
-			if err != nil {
-				if !errors.Is(err, optimal.ErrSearchBudget) {
-					return nil, err
-				}
+			sample := samples[grid.Index(ci, s)]
+			if sample.incomplete {
 				incomplete++
 			}
-			randEv, err := optimal.RandomOrder(g, params, rng)
-			if err != nil {
-				return nil, err
-			}
-			ltfEv, err := optimal.GreedyOrder(g, priority.NewLTF(), params, nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			pubsEv, err := optimal.GreedyOrder(g, priority.NewPUBS(), params, actuals, nil)
-			if err != nil {
-				return nil, err
-			}
-			// Guard against an incomplete search being beaten by a heuristic:
-			// normalise by the best schedule seen.
-			best := opt.Best.Energy
-			for _, e := range []float64{randEv.Energy, ltfEv.Energy, pubsEv.Energy} {
-				if e < best {
-					best = e
-				}
-			}
-			if best <= 0 {
+			if !sample.ok {
 				continue
 			}
-			randAcc.Add(randEv.Energy / best)
-			ltfAcc.Add(ltfEv.Energy / best)
-			pubsAcc.Add(pubsEv.Energy / best)
+			randAcc.Add(sample.random)
+			ltfAcc.Add(sample.ltf)
+			pubsAcc.Add(sample.pubs)
 		}
 		rows = append(rows, Table1Row{
 			Tasks:              n,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,6 +14,7 @@ import (
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
+	"battsched/internal/runner"
 	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
@@ -42,6 +44,20 @@ func NamedBatteryFactory(name string) (BatteryFactory, error) {
 	}
 }
 
+// resolveBatteryFactories resolves a list of battery model names, failing on
+// the first unknown name.
+func resolveBatteryFactories(names []string) ([]BatteryFactory, error) {
+	factories := make([]BatteryFactory, len(names))
+	for i, name := range names {
+		f, err := NamedBatteryFactory(name)
+		if err != nil {
+			return nil, err
+		}
+		factories[i] = f
+	}
+	return factories, nil
+}
+
 // Table2Config parameterises the Table 2 experiment: the five scheduling
 // schemes compared on delivered charge and battery lifetime.
 type Table2Config struct {
@@ -66,6 +82,8 @@ type Table2Config struct {
 	Seed int64
 	// MaxBatteryHours caps each battery lifetime simulation.
 	MaxBatteryHours float64
+	// RunOptions tune the parallel execution of the per-set jobs.
+	RunOptions
 }
 
 // DefaultTable2Config returns the paper's configuration: 100 random task
@@ -139,8 +157,60 @@ func paperSchemes() []table2Scheme {
 	}
 }
 
-// RunTable2 regenerates Table 2 for the configured battery model.
-func RunTable2(cfg Table2Config) ([]Table2Row, error) {
+// table2Cell is the result of one scheme on one task-graph set.
+type table2Cell struct {
+	charge, life, energy, current float64
+}
+
+// table2Job simulates every scheme on one task-graph set. The set's workload
+// and actual execution requirements derive from setSeed and are shared by all
+// schemes, so schemes always compare on identical task graphs.
+func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, setSeed int64) ([]table2Cell, error) {
+	rng := rand.New(rand.NewSource(setSeed))
+	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]table2Cell, len(schemes))
+	for i, s := range schemes {
+		res, err := core.Run(core.Config{
+			System:          sys.Clone(),
+			Processor:       proc,
+			DVS:             s.alg(),
+			Priority:        s.prio(),
+			ReadyPolicy:     s.policy,
+			FrequencyMode:   core.DiscreteFrequency,
+			OracleEstimates: cfg.OracleEstimates,
+			Execution:       taskgraph.NewUniformExecution(0.2, 1.0, setSeed),
+			Hyperperiods:    cfg.Hyperperiods,
+			Seed:            setSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.DeadlineMisses > 0 {
+			return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+		}
+		br, err := battery.SimulateUntilExhausted(cfg.Battery(), res.Profile, battery.SimulateOptions{
+			MaxTime: cfg.MaxBatteryHours * 3600,
+			MaxStep: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = table2Cell{
+			charge:  br.DeliveredMAh(),
+			life:    br.LifetimeMinutes(),
+			energy:  res.EnergyBattery / float64(cfg.Hyperperiods),
+			current: res.Profile.AverageCurrent(),
+		}
+	}
+	return cells, nil
+}
+
+// RunTable2 regenerates Table 2 for the configured battery model. Each
+// task-graph set is one job of the runner harness.
+func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -160,47 +230,21 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 	proc := defaultProcessor()
 	schemes := paperSchemes()
 
+	sets, err := runner.Run(ctx, cfg.Sets, cfg.runnerOptions(), func(_ context.Context, set int) ([]table2Cell, error) {
+		return table2Job(cfg, proc, schemes, runner.SeedFor(cfg.Seed, int64(set)))
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type agg struct{ charge, life, energy, current stats.Accumulator }
 	aggs := make([]agg, len(schemes))
-
-	for set := 0; set < cfg.Sets; set++ {
-		seed := cfg.Seed + int64(set)
-		rng := rand.New(rand.NewSource(seed))
-		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range schemes {
-			res, err := core.Run(core.Config{
-				System:          sys.Clone(),
-				Processor:       proc,
-				DVS:             s.alg(),
-				Priority:        s.prio(),
-				ReadyPolicy:     s.policy,
-				FrequencyMode:   core.DiscreteFrequency,
-				OracleEstimates: cfg.OracleEstimates,
-				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
-				Hyperperiods:    cfg.Hyperperiods,
-				Seed:            seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.DeadlineMisses > 0 {
-				return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
-			}
-			b := cfg.Battery()
-			br, err := battery.SimulateUntilExhausted(b, res.Profile, battery.SimulateOptions{
-				MaxTime: cfg.MaxBatteryHours * 3600,
-				MaxStep: 2,
-			})
-			if err != nil {
-				return nil, err
-			}
-			aggs[i].charge.Add(br.DeliveredMAh())
-			aggs[i].life.Add(br.LifetimeMinutes())
-			aggs[i].energy.Add(res.EnergyBattery / float64(cfg.Hyperperiods))
-			aggs[i].current.Add(res.Profile.AverageCurrent())
+	for _, cells := range sets {
+		for si, cell := range cells {
+			aggs[si].charge.Add(cell.charge)
+			aggs[si].life.Add(cell.life)
+			aggs[si].energy.Add(cell.energy)
+			aggs[si].current.Add(cell.current)
 		}
 	}
 

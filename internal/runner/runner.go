@@ -1,0 +1,248 @@
+// Package runner is the generic job-grid harness behind the parallel
+// experiment drivers: every experiment of internal/experiments enumerates its
+// (set × scheme × sweep-point) grid as a flat list of independent jobs, and
+// Run executes those jobs on a bounded worker pool.
+//
+// Determinism is the central contract. Each job derives its own random stream
+// from the experiment seed and the job's grid coordinates (SeedFor, a
+// SplitMix64-style mixer), never from shared generator state, so the value a
+// job computes is independent of scheduling. Run returns results indexed by
+// job, and callers fold them in job order; together these make every
+// experiment byte-identical at any worker count.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options tune one Run call.
+type Options struct {
+	// Parallelism is the worker-pool size; values <= 0 select
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Progress, when non-nil, is called after each job completes with the
+	// number of completed jobs and the total. Calls are serialised, but they
+	// happen on worker goroutines and delay job completion, so the callback
+	// must be fast.
+	Progress func(done, total int)
+}
+
+// Workers resolves the effective worker count for n jobs.
+func (o Options) Workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError reports a job that panicked; the worker pool converts panics
+// into errors so one bad job cannot take down the whole sweep unannounced.
+type PanicError struct {
+	// Job is the flat index of the panicking job.
+	Job int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Run executes jobs 0..n-1 on a bounded worker pool and returns their results
+// in job-index order. The first job error (lowest job index among the errors
+// observed) cancels the remaining jobs and is returned; a cancelled or
+// timed-out ctx aborts the sweep with ctx's error. Panics inside jobs are
+// captured as *PanicError.
+func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative job count %d", n)
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		// Keep the lowest-index error, but never let a context error (a job
+		// honouring the cancellation this pool itself triggered) displace the
+		// real root-cause error.
+		ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		firstCtxErr := errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded)
+		switch {
+		case firstErr == nil,
+			firstCtxErr && !ctxErr,
+			firstCtxErr == ctxErr && i < firstIdx:
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	runOne := func(i int) (t T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return job(ctx, i)
+	}
+
+	jobs := make(chan int)
+	for w := opts.Workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain: the sweep is already aborting
+				}
+				t, err := runOne(i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				results[i] = t
+				mu.Lock()
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// splitmix64 is the output mixer of the SplitMix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SeedFor derives a well-mixed deterministic seed for the job at the given
+// grid coordinates from a base experiment seed. Nearby coordinates yield
+// statistically independent seeds, so experiments may use raw loop indices or
+// semantic values (task count, set number) as coordinates.
+func SeedFor(base int64, coords ...int64) int64 {
+	h := splitmix64(uint64(base))
+	for _, c := range coords {
+		// Rehash the chaining value before folding in the coordinate so the
+		// combination is not commutative (base and coordinates must not be
+		// interchangeable).
+		h = splitmix64(splitmix64(h) ^ uint64(c))
+	}
+	return int64(h)
+}
+
+// RNG returns a fresh generator seeded with SeedFor(base, coords...). Each
+// job must own its generator; sharing one across jobs reintroduces
+// schedule-dependent results.
+func RNG(base int64, coords ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(base, coords...)))
+}
+
+// Grid maps a multi-dimensional experiment grid onto flat job indices in
+// row-major order (the last dimension varies fastest).
+type Grid struct {
+	dims []int
+}
+
+// NewGrid returns the grid with the given dimension sizes. Dimensions must be
+// positive; a grid with no dimensions has size 1.
+func NewGrid(dims ...int) Grid {
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("runner: non-positive grid dimension %d in %v", d, dims))
+		}
+	}
+	return Grid{dims: append([]int(nil), dims...)}
+}
+
+// Size returns the total number of grid cells.
+func (g Grid) Size() int {
+	n := 1
+	for _, d := range g.dims {
+		n *= d
+	}
+	return n
+}
+
+// Coords returns the multi-dimensional coordinates of flat index idx.
+func (g Grid) Coords(idx int) []int {
+	if idx < 0 || idx >= g.Size() {
+		panic(fmt.Sprintf("runner: grid index %d out of range for %v", idx, g.dims))
+	}
+	c := make([]int, len(g.dims))
+	for i := len(g.dims) - 1; i >= 0; i-- {
+		c[i] = idx % g.dims[i]
+		idx /= g.dims[i]
+	}
+	return c
+}
+
+// Index returns the flat index of the given coordinates (the inverse of
+// Coords).
+func (g Grid) Index(coords ...int) int {
+	if len(coords) != len(g.dims) {
+		panic(fmt.Sprintf("runner: %d coordinates for %d-dimensional grid", len(coords), len(g.dims)))
+	}
+	idx := 0
+	for i, c := range coords {
+		if c < 0 || c >= g.dims[i] {
+			panic(fmt.Sprintf("runner: coordinate %d out of range for dimension %d (size %d)", c, i, g.dims[i]))
+		}
+		idx = idx*g.dims[i] + c
+	}
+	return idx
+}

@@ -1,0 +1,268 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Run(context.Background(), 37, Options{Parallelism: workers}, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	got, err := Run(context.Background(), 0, Options{}, func(_ context.Context, i int) (int, error) {
+		t.Fatal("job called")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := Run(context.Background(), -1, Options{}, func(_ context.Context, i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative job count accepted")
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the runner's core contract: a job
+// function that derives all randomness from its own index produces identical
+// results at any parallelism.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	job := func(_ context.Context, i int) (float64, error) {
+		rng := RNG(42, int64(i))
+		s := 0.0
+		for k := 0; k < 100; k++ {
+			s += rng.Float64()
+		}
+		return s, nil
+	}
+	base, err := Run(context.Background(), 64, Options{Parallelism: 1}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Run(context.Background(), 64, Options{Parallelism: workers}, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: results differ from sequential run", workers)
+		}
+	}
+}
+
+func TestRunErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Run(context.Background(), 1000, Options{Parallelism: 4}, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, fmt.Errorf("job %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not cancel remaining jobs")
+	}
+}
+
+func TestRunPanicCapture(t *testing.T) {
+	_, err := Run(context.Background(), 8, Options{Parallelism: 2}, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 5 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Run(ctx, 1000, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Fatal("cancellation did not stop the feed")
+	}
+	// An already-cancelled context must not run any job.
+	ran := false
+	if _, err := Run(ctx, 10, Options{}, func(_ context.Context, i int) (int, error) {
+		ran = true
+		return i, nil
+	}); !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("pre-cancelled ctx: err = %v ran = %v", err, ran)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var calls []int
+	_, err := Run(context.Background(), 20, Options{Parallelism: 4, Progress: func(done, total int) {
+		if total != 20 {
+			t.Errorf("total = %d", total)
+		}
+		calls = append(calls, done)
+	}}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 20 {
+		t.Fatalf("progress calls = %d, want 20", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress out of order: %v", calls)
+		}
+	}
+}
+
+func TestOptionsWorkers(t *testing.T) {
+	if w := (Options{Parallelism: 8}).Workers(3); w != 3 {
+		t.Fatalf("workers capped = %d", w)
+	}
+	if w := (Options{Parallelism: 2}).Workers(100); w != 2 {
+		t.Fatalf("workers = %d", w)
+	}
+	if w := (Options{}).Workers(100); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+}
+
+func TestSeedFor(t *testing.T) {
+	if SeedFor(1, 2, 3) != SeedFor(1, 2, 3) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	// Distinct coordinates and distinct bases give distinct seeds, including
+	// the adjacent values typical of loop indices.
+	seen := map[int64][]int64{}
+	for base := int64(0); base < 4; base++ {
+		for a := int64(0); a < 8; a++ {
+			for b := int64(0); b < 8; b++ {
+				s := SeedFor(base, a, b)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %v", base, a, b, prev)
+				}
+				seen[s] = []int64{base, a, b}
+			}
+		}
+	}
+	// Coordinate order matters.
+	if SeedFor(1, 2, 3) == SeedFor(1, 3, 2) {
+		t.Fatal("SeedFor ignores coordinate order")
+	}
+	// Arity matters: (1) and (1,0) must differ.
+	if SeedFor(7, 1) == SeedFor(7, 1, 0) {
+		t.Fatal("SeedFor ignores arity")
+	}
+}
+
+func TestRNGIndependentStreams(t *testing.T) {
+	a, b := RNG(1, 0), RNG(1, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("adjacent streams overlap in %d of 64 draws", same)
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	g := NewGrid(3, 4, 5)
+	if g.Size() != 60 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	for idx := 0; idx < g.Size(); idx++ {
+		c := g.Coords(idx)
+		if got := g.Index(c[0], c[1], c[2]); got != idx {
+			t.Fatalf("round trip %d -> %v -> %d", idx, c, got)
+		}
+	}
+	// Row-major: last dimension fastest.
+	if c := g.Coords(1); !reflect.DeepEqual(c, []int{0, 0, 1}) {
+		t.Fatalf("coords(1) = %v", c)
+	}
+	if NewGrid().Size() != 1 {
+		t.Fatalf("empty grid size = %d", NewGrid().Size())
+	}
+	for _, f := range []func(){
+		func() { NewGrid(0) },
+		func() { g.Coords(60) },
+		func() { g.Index(1, 2) },
+		func() { g.Index(3, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRunRealErrorNotMaskedByCancellation: a job that honours the pool's own
+// cancellation (returning ctx.Err()) must not displace the root-cause error,
+// even from a lower job index.
+func TestRunRealErrorNotMaskedByCancellation(t *testing.T) {
+	boom := errors.New("root cause")
+	block := make(chan struct{})
+	_, err := Run(context.Background(), 8, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			// Wait for the failure, then return the context error like a
+			// well-behaved cancellation-aware job.
+			<-block
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		defer close(block)
+		return 0, fmt.Errorf("job %d: %w", i, boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the root-cause error", err)
+	}
+}

@@ -168,6 +168,32 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += d * (x - a.mean)
 }
 
+// Merge incorporates the observations of b into a, as if every value added
+// to b had been added to a (Chan et al.'s parallel Welford combination). It
+// lets each worker of a parallel sweep aggregate into its own Accumulator
+// without locks and the caller combine the partials afterwards; merging
+// partials in a fixed order yields deterministic results at any worker count.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
 // N returns the number of observations added.
 func (a *Accumulator) N() int { return a.n }
 

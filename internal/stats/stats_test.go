@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -174,5 +175,92 @@ func TestAccumulatorProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAccumulatorMerge checks the parallel Welford combination against a
+// single-stream accumulator over every split point of a fixed sample.
+func TestAccumulatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var want Accumulator
+	for _, x := range xs {
+		want.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var a, b Accumulator
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != want.N() {
+			t.Fatalf("split %d: n = %d, want %d", split, a.N(), want.N())
+		}
+		if math.Abs(a.Mean()-want.Mean()) > 1e-9 {
+			t.Fatalf("split %d: mean = %v, want %v", split, a.Mean(), want.Mean())
+		}
+		if math.Abs(a.StdDev()-want.StdDev()) > 1e-9 {
+			t.Fatalf("split %d: sd = %v, want %v", split, a.StdDev(), want.StdDev())
+		}
+		as, ws := a.Summary(), want.Summary()
+		if as.Min != ws.Min || as.Max != ws.Max {
+			t.Fatalf("split %d: min/max = %v/%v, want %v/%v", split, as.Min, as.Max, ws.Min, ws.Max)
+		}
+	}
+}
+
+// TestAccumulatorMergeManyChunks folds a sample in unequal chunks, as the
+// job-grid runner does with per-job partials.
+func TestAccumulatorMergeManyChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 503)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	var want Accumulator
+	for _, x := range xs {
+		want.Add(x)
+	}
+	var got Accumulator
+	for lo := 0; lo < len(xs); {
+		hi := lo + 1 + rng.Intn(37)
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var part Accumulator
+		for _, x := range xs[lo:hi] {
+			part.Add(x)
+		}
+		got.Merge(part)
+		lo = hi
+	}
+	if got.N() != want.N() || math.Abs(got.Mean()-want.Mean()) > 1e-9 || math.Abs(got.StdDev()-want.StdDev()) > 1e-9 {
+		t.Fatalf("chunked merge = %+v, want %+v", got.Summary(), want.Summary())
+	}
+}
+
+// TestAccumulatorMergeEmpty covers the empty-side special cases.
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Merge(b)
+	if a.N() != 0 {
+		t.Fatalf("empty+empty n = %d", a.N())
+	}
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("empty+filled = %+v", a.Summary())
+	}
+	var c Accumulator
+	a.Merge(c)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("filled+empty = %+v", a.Summary())
 	}
 }
