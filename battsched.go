@@ -192,6 +192,36 @@ type (
 	ProfileSegment = profile.Segment
 )
 
+// Simulation observers (see internal/core). The engine emits one
+// constant-state segment per interval of the simulation; Config.Observer
+// selects the sink that receives them. With a nil Observer the engine
+// records a full profile + trace into the Result (the historical behaviour);
+// experiment sweeps pass cheaper sinks. Energy totals never depend on the
+// observer.
+type (
+	// SegmentSink observes the engine's emitted segments.
+	SegmentSink = core.SegmentSink
+	// EngineSegment is one constant-state interval of a simulation.
+	EngineSegment = core.Segment
+	// SimProfileRecorder records only the battery load-current profile.
+	SimProfileRecorder = core.ProfileRecorder
+	// SimRecorder records the full profile + execution trace.
+	SimRecorder = core.Recorder
+)
+
+// DiscardSegments is the no-op observer: no profile or trace is recorded
+// (Result.Profile and Result.Trace stay nil); scheduling statistics and
+// energy totals are still computed.
+var DiscardSegments = core.Discard
+
+// NewSimProfileRecorder returns a profile-only observer; the engine attaches
+// its profile to Result.Profile.
+func NewSimProfileRecorder() *SimProfileRecorder { return core.NewProfileRecorder() }
+
+// NewSimRecorder returns the full profile + trace observer (the default when
+// Config.Observer is nil).
+func NewSimRecorder() *SimRecorder { return core.NewRecorder() }
+
 // Battery models (see internal/battery and its sub-packages).
 type (
 	// BatteryModel is the interface implemented by all battery models.

@@ -5,10 +5,16 @@
 // Gantt chart, writes the load-current profile as CSV and evaluates the
 // profile on a battery model.
 //
+// Recording is configurable: by default the full execution trace and load
+// profile are kept; -notrace records the profile only, and -noprofile skips
+// recording entirely (scheduling statistics and energy totals are always
+// computed by the engine itself).
+//
 // Examples:
 //
 //	basched -random 5 -utilization 0.7 -dvs laEDF -priority pubs -ready all -battery stochastic
 //	basched -workload workload.json -dvs ccEDF -priority fifo -trace
+//	basched -random 8 -noprofile -battery none
 package main
 
 import (
@@ -80,9 +86,17 @@ func run(args []string, stdout io.Writer) error {
 		batteryName  = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert or none")
 		showTrace    = fs.Bool("trace", false, "render the execution trace as an ASCII Gantt chart")
 		profileOut   = fs.String("profile-out", "", "write the load-current profile as CSV to this file")
+		noTrace      = fs.Bool("notrace", false, "skip execution-trace recording (profile and statistics only)")
+		noProfile    = fs.Bool("noprofile", false, "skip profile and trace recording entirely (statistics and energy only; implies -notrace, disables -profile-out and the battery evaluation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showTrace && (*noTrace || *noProfile) {
+		return errors.New("-trace is incompatible with -notrace/-noprofile")
+	}
+	if *profileOut != "" && *noProfile {
+		return errors.New("-profile-out is incompatible with -noprofile")
 	}
 
 	proc := battsched.DefaultProcessor()
@@ -133,6 +147,16 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown frequency mode %q (want continuous or discrete)", *mode)
 	}
 
+	// The observer selects how much execution history is recorded: full
+	// profile + trace by default, profile-only with -notrace, aggregates
+	// only with -noprofile (the engine computes energy totals regardless).
+	var observer battsched.SegmentSink
+	switch {
+	case *noProfile:
+		observer = battsched.DiscardSegments
+	case *noTrace:
+		observer = battsched.NewSimProfileRecorder()
+	}
 	res, err := battsched.Run(battsched.Config{
 		System:        sys,
 		Processor:     proc,
@@ -143,6 +167,7 @@ func run(args []string, stdout io.Writer) error {
 		Execution:     battsched.NewUniformExecution(0.2, 1.0, *seed),
 		Hyperperiods:  *hyperperiods,
 		Seed:          *seed,
+		Observer:      observer,
 	})
 	if err != nil {
 		return err
@@ -155,8 +180,16 @@ func run(args []string, stdout io.Writer) error {
 		res.Horizon, res.BusyTime, res.IdleTime, res.AverageFrequency)
 	fmt.Fprintf(stdout, "jobs:     released=%d completed=%d nodes=%d deadline misses=%d preemptions=%d out-of-order=%d\n",
 		res.JobsReleased, res.JobsCompleted, res.NodesCompleted, res.DeadlineMisses, res.Preemptions, res.OutOfOrderExecutions)
+	avgCurrent := 0.0
+	if res.Profile != nil {
+		avgCurrent = res.Profile.AverageCurrent()
+	} else if proc.BatteryVoltage > 0 && res.Horizon > 0 {
+		// No profile recorded: derive the average current from the energy
+		// total the engine accumulates regardless of the observer.
+		avgCurrent = res.EnergyBattery / (proc.BatteryVoltage * res.Horizon)
+	}
 	fmt.Fprintf(stdout, "energy:   battery=%.4g J  processor=%.4g J  avg power=%.4g W  avg current=%.4g A\n",
-		res.EnergyBattery, res.EnergyProcessor, res.AveragePower(), res.Profile.AverageCurrent())
+		res.EnergyBattery, res.EnergyProcessor, res.AveragePower(), avgCurrent)
 
 	if *showTrace {
 		fmt.Fprintln(stdout)
@@ -176,6 +209,12 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "profile:  %d segments written to %s\n", len(res.Profile.Segments), *profileOut)
 	}
 
+	if *noProfile {
+		if strings.ToLower(*batteryName) != "none" {
+			fmt.Fprintln(stdout, "battery:  skipped (-noprofile records no load profile)")
+		}
+		return nil
+	}
 	if strings.ToLower(*batteryName) != "none" {
 		factory, err := experiments.NamedBatteryFactory(strings.ToLower(*batteryName))
 		if err != nil {

@@ -112,3 +112,42 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestRunNoTraceNoProfile checks the recording flags: statistics and energy
+// are identical across recording modes, the flags reject contradictory
+// combinations, and -noprofile skips the battery evaluation.
+func TestRunNoTraceNoProfile(t *testing.T) {
+	base := []string{"-random", "3", "-hyperperiods", "2", "-seed", "3", "-battery", "none"}
+	outputs := make([]string, 0, 3)
+	for _, extra := range [][]string{nil, {"-notrace"}, {"-noprofile"}} {
+		var buf bytes.Buffer
+		if err := run(append(append([]string{}, base...), extra...), &buf); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	// All three runs print identical statistics (the engine's accounting
+	// does not depend on the recording mode).
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Fatalf("recording modes changed the report:\nfull:\n%s\nnotrace:\n%s\nnoprofile:\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-random", "2", "-noprofile", "-battery", "kibam"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "battery:  skipped") {
+		t.Fatalf("battery evaluation not skipped under -noprofile:\n%s", buf.String())
+	}
+
+	for _, args := range [][]string{
+		{"-trace", "-notrace"},
+		{"-trace", "-noprofile"},
+		{"-noprofile", "-profile-out", "x.csv"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}

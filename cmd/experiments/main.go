@@ -13,6 +13,12 @@
 // byte-identical for any worker count with the same seed. -timeout bounds the
 // whole run, -progress reports per-job completion on stderr.
 //
+// -ci enables adaptive set counts: each stochastic experiment keeps running
+// batches of task-graph sets until the relative Student-t CI95 half-width of
+// its key metric (battery lifetime for Table 2 and the grid, normalised
+// energy otherwise) drops below the target, bounded by -max-sets. The
+// samples/sets columns of the emitted tables report the counts actually run.
+//
 // The -quick flag runs reduced versions (the same configurations the
 // benchmark harness uses); the full versions match the parameters recorded in
 // EXPERIMENTS.md.
@@ -49,12 +55,21 @@ func progressPrinter(name string, enabled bool) (func(done, total int), func()) 
 		}
 }
 
-// applyRunnerFlags wires the shared -parallel/-progress flags into an
-// experiment's RunOptions and returns the function that clears the progress
-// line once the experiment finishes.
-func applyRunnerFlags(opts *experiments.RunOptions, name string, parallel int, progress bool) func() {
-	opts.Parallel = parallel
-	cb, clear := progressPrinter(name, progress)
+// runnerFlags carries the shared execution flags of every experiment.
+type runnerFlags struct {
+	parallel int
+	progress bool
+	targetCI float64
+	maxSets  int
+}
+
+// apply wires the shared flags into an experiment's RunOptions and returns
+// the function that clears the progress line once the experiment finishes.
+func (f runnerFlags) apply(opts *experiments.RunOptions, name string) func() {
+	opts.Parallel = f.parallel
+	opts.TargetCI = f.targetCI
+	opts.MaxSets = f.maxSets
+	cb, clear := progressPrinter(name, f.progress)
 	opts.Progress = cb
 	return clear
 }
@@ -79,10 +94,13 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker count for the job-grid runner (<= 0: all cores, 1: sequential)")
 		timeout  = fs.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
 		progress = fs.Bool("progress", false, "report per-job progress on stderr")
+		targetCI = fs.Float64("ci", 0, "adaptive set counts: run batches of sets until the relative CI95 half-width of each experiment's key metric drops below this target (0: fixed set counts)")
+		maxSets  = fs.Int("max-sets", 0, "hard cap on adaptively grown set counts (0: 8x the configured count; only with -ci)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	rf := runnerFlags{parallel: *parallel, progress: *progress, targetCI: *targetCI, maxSets: *maxSets}
 	if !*table1 && !*figure6 && !*table2 && !*curve && !*ablation && !*grid {
 		*all = true
 	}
@@ -103,7 +121,7 @@ func run(args []string, stdout io.Writer) error {
 			cfg = experiments.QuickTable1Config()
 		}
 		cfg.Seed = *seed
-		clear := applyRunnerFlags(&cfg.RunOptions, "table1", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "table1")
 		start := time.Now()
 		rows, err := experiments.RunTable1(ctx, cfg)
 		clear()
@@ -111,7 +129,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.FormatTable1(rows))
-		fmt.Fprintf(stdout, "(%d DAGs per row, %.1fs)\n\n", cfg.GraphsPerCount, time.Since(start).Seconds())
+		perRow := cfg.GraphsPerCount
+		if len(rows) > 0 {
+			perRow = rows[0].Samples // reports the adaptively grown count
+		}
+		fmt.Fprintf(stdout, "(%d DAGs per row, %.1fs)\n\n", perRow, time.Since(start).Seconds())
 	}
 
 	if *figure6 {
@@ -121,7 +143,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Seed = *seed
 		cfg.UseCCEDF = *ccFig6
-		clear := applyRunnerFlags(&cfg.RunOptions, "figure6", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "figure6")
 		if *util > 0 {
 			cfg.Utilization = *util
 		}
@@ -136,8 +158,12 @@ func run(args []string, stdout io.Writer) error {
 		if cfg.UseCCEDF {
 			alg = "ccEDF"
 		}
+		perPoint := cfg.SetsPerCount
+		if len(rows) > 0 {
+			perPoint = rows[0].Samples // reports the adaptively grown count
+		}
 		fmt.Fprintf(stdout, "(%d sets per point, %s frequency setting, utilisation %.2f, %.1fs)\n\n",
-			cfg.SetsPerCount, alg, cfg.Utilization, time.Since(start).Seconds())
+			perPoint, alg, cfg.Utilization, time.Since(start).Seconds())
 	}
 
 	if *table2 {
@@ -149,7 +175,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.BatteryName = *battery
 		cfg.Battery = nil
 		cfg.OracleEstimates = *oracle
-		clear := applyRunnerFlags(&cfg.RunOptions, "table2", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "table2")
 		if *sets > 0 {
 			cfg.Sets = *sets
 		}
@@ -163,7 +189,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.FormatTable2(rows, cfg.BatteryName, cfg.Utilization))
-		fmt.Fprintf(stdout, "(%d task-graph sets, %.1fs)\n\n", cfg.Sets, time.Since(start).Seconds())
+		ranSets := cfg.Sets
+		if len(rows) > 0 {
+			ranSets = rows[0].Sets // reports the adaptively grown count
+		}
+		fmt.Fprintf(stdout, "(%d task-graph sets, %.1fs)\n\n", ranSets, time.Since(start).Seconds())
 	}
 
 	if *curve {
@@ -171,7 +201,7 @@ func run(args []string, stdout io.Writer) error {
 		if *quick {
 			cfg = experiments.QuickCurveConfig()
 		}
-		clear := applyRunnerFlags(&cfg.RunOptions, "curve", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "curve")
 		start := time.Now()
 		series, err := experiments.RunLoadCapacityCurve(ctx, cfg)
 		clear()
@@ -188,7 +218,7 @@ func run(args []string, stdout io.Writer) error {
 			cfg = experiments.QuickEstimateAblationConfig()
 		}
 		cfg.Seed = *seed
-		clear := applyRunnerFlags(&cfg.RunOptions, "ablation", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "ablation")
 		if *util > 0 {
 			cfg.Utilization = *util
 		}
@@ -199,7 +229,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.FormatEstimateAblation(rows))
-		fmt.Fprintf(stdout, "(%d sets, %.1fs)\n", cfg.Sets, time.Since(start).Seconds())
+		ranSets := cfg.Sets
+		if len(rows) > 0 {
+			ranSets = rows[0].Samples // reports the adaptively grown count
+		}
+		fmt.Fprintf(stdout, "(%d sets, %.1fs)\n", ranSets, time.Since(start).Seconds())
 	}
 
 	if *grid {
@@ -208,7 +242,7 @@ func run(args []string, stdout io.Writer) error {
 			cfg = experiments.QuickScenarioGridConfig()
 		}
 		cfg.Seed = *seed
-		clear := applyRunnerFlags(&cfg.RunOptions, "grid", *parallel, *progress)
+		clear := rf.apply(&cfg.RunOptions, "grid")
 		if *sets > 0 {
 			cfg.Sets = *sets
 		}
@@ -219,7 +253,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.FormatScenarioGrid(rows))
-		fmt.Fprintf(stdout, "(%d sets per cell, %.1fs)\n", cfg.Sets, time.Since(start).Seconds())
+		perCell := cfg.Sets
+		if len(rows) > 0 {
+			perCell = rows[0].Charge.N // reports the adaptively grown count
+		}
+		fmt.Fprintf(stdout, "(%d sets per cell, %.1fs)\n", perCell, time.Since(start).Seconds())
 	}
 	return nil
 }

@@ -23,6 +23,20 @@
 // complete programs; the internal/experiments package regenerates the tables
 // and figures of the paper.
 //
+// # Simulation observers
+//
+// The engine reports what it executed through a SegmentSink observer: one
+// constant-state segment (node, frequency, battery current — or idle) per
+// interval of the simulation, in order. Config.Observer selects the sink.
+// With a nil Observer the engine records the full load profile and execution
+// trace into the Result, exactly as the interactive CLIs need; experiment
+// sweeps pass NewSimProfileRecorder (profile only, for battery evaluation)
+// or DiscardSegments (aggregates only). Energy totals, busy/idle times and
+// scheduling statistics are accumulated by the engine itself and never
+// depend on the observer, so disabling recording changes no reported number
+// — it only removes the recording cost from the hot path. cmd/basched
+// exposes the choice as -notrace / -noprofile.
+//
 // # Parallel experiment runner
 //
 // Every stochastic sweep runs on a job-grid harness (internal/runner): the
@@ -30,20 +44,36 @@
 // jobs executed by a bounded worker pool. Each job derives its own random
 // stream from the experiment seed and its grid coordinates with a
 // SplitMix64-style mixer (DeriveSeed/SeededRNG), never from shared generator
-// state, and per-job results are folded in job order — so results are
-// byte-identical at any worker count:
+// state. Results stream back in deterministic job order (RunJobGridStream; a
+// bounded reorder window, so the grid is never materialised) and the drivers
+// fold them into mergeable Welford accumulators (StatsAccumulator) — so
+// results are byte-identical at any worker count:
 //
 //	go run ./cmd/experiments -table2            # all cores (the default)
 //	go run ./cmd/experiments -table2 -parallel 1  # sequential, same output
 //	go run ./cmd/experiments -all -progress -timeout 30m
 //
 // Experiment configurations embed ExperimentOptions (Parallel worker count,
-// Progress callback); cmd/experiments and cmd/batsim expose them as
-// -parallel, -timeout and -progress flags. The harness is exported for
-// custom sweeps via ParallelMap, NewJobGrid, DeriveSeed and SeededRNG, and
+// Progress callback, adaptive-stopping knobs); cmd/experiments exposes them
+// as -parallel, -timeout, -progress, -ci and -max-sets flags (cmd/batsim's
+// deterministic -curve sweep shares -parallel and -timeout). The harness is
+// exported for custom sweeps via
+// ParallelMap, RunJobGridStream, NewJobGrid, DeriveSeed and SeededRNG, and
 // RunScenarioGrid sweeps the (utilisation × battery model × scheme) grid that
-// new workloads plug into; its jobs aggregate into per-job accumulators that
-// the fold combines with a mergeable Welford reduction rather than locks.
+// new workloads plug into.
+//
+// # Adaptive set counts
+//
+// Every table cell the paper reports is a mean over random task-graph sets.
+// Instead of guessing how many sets suffice, set ExperimentOptions.TargetCI
+// (cmd/experiments -ci): the driver runs batches of sets — each batch the
+// configured set count — until the Student-t 95 % confidence half-width of
+// its key metric (battery lifetime for Table 2 and the scenario grid,
+// normalised energy for Table 1/Figure 6/the ablation) is below the target
+// relative to the mean for every reported row, bounded by MaxSets (default
+// 8× the configured count). Set seeds depend only on the absolute set index,
+// so adaptive runs are reproducible and their first batch matches the
+// fixed-count run exactly.
 //
 // # Quick start
 //

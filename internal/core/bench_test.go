@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"battsched/internal/dvs"
+	"battsched/internal/priority"
+	"battsched/internal/tgff"
+)
+
+// benchConfig returns the BAS-2 configuration (laEDF + pUBS over all released
+// graphs, discrete frequencies) the engine benchmarks run: the scheme with
+// the most expensive decisions (hypothetical DVS queries per candidate).
+func benchConfig(b *testing.B, sink SegmentSink) Config {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), 5, 0.7, 1e9, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		System:        sys,
+		DVS:           dvs.NewLAEDF(),
+		Priority:      priority.NewPUBS(),
+		ReadyPolicy:   AllReleased,
+		FrequencyMode: DiscreteFrequency,
+		Hyperperiods:  1,
+		Seed:          7,
+		Observer:      sink,
+	}
+}
+
+func benchEngineRun(b *testing.B, sink func() SegmentSink) {
+	cfg := benchConfig(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Observer = sink()
+		cfg.Seed = int64(i)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeadlineMisses != 0 {
+			b.Fatal("deadline miss")
+		}
+	}
+}
+
+// BenchmarkEngineRun measures one hyperperiod of the engine with the no-op
+// sink — the experiment hot path (energy totals only, no recording).
+func BenchmarkEngineRun(b *testing.B) {
+	benchEngineRun(b, func() SegmentSink { return Discard })
+}
+
+// BenchmarkEngineRunProfile measures the same run recording only the battery
+// load-current profile (what the battery-lifetime experiments use).
+func BenchmarkEngineRunProfile(b *testing.B) {
+	benchEngineRun(b, func() SegmentSink { return NewProfileRecorder() })
+}
+
+// BenchmarkEngineRunRecorded measures the same run with full profile + trace
+// recording — the engine's mandatory behaviour before the observer layer,
+// and still the default when Config.Observer is nil.
+func BenchmarkEngineRunRecorded(b *testing.B) {
+	benchEngineRun(b, func() SegmentSink { return NewRecorder() })
+}

@@ -116,6 +116,13 @@ type Config struct {
 	// Execution draws actual execution requirements (nil selects the paper's
 	// uniform 20–100 % of WCET model seeded with Seed).
 	Execution taskgraph.ExecutionModel
+	// Observer receives every constant-state segment the simulation emits
+	// (see SegmentSink). Nil selects the full Recorder, which populates
+	// Result.Profile and Result.Trace as before; experiment sweeps pass
+	// cheap accumulate-only sinks (Discard, NewProfileRecorder) to skip
+	// recording they do not need. Energy totals are accumulated by the
+	// engine itself and do not depend on the observer.
+	Observer SegmentSink
 	// Horizon is the simulated duration in seconds. When zero the horizon is
 	// Hyperperiods hyperperiods of the system.
 	Horizon float64

@@ -11,7 +11,6 @@ import (
 	"battsched/internal/processor"
 	"battsched/internal/profile"
 	"battsched/internal/taskgraph"
-	"battsched/internal/trace"
 )
 
 // timeEpsilon absorbs floating-point noise when comparing simulation times.
@@ -86,12 +85,42 @@ func (in *instance) view(g *taskgraph.Graph) dvs.InstanceView {
 	}
 }
 
+// instanceBefore is the total EDF order of the released list: earliest
+// absolute deadline first, ties broken by release time and graph index so the
+// order is total and deterministic.
+func instanceBefore(a, b *instance) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.release != b.release {
+		return a.release < b.release
+	}
+	return a.graphIndex < b.graphIndex
+}
+
 // candidateRef pairs a priority.Candidate with the instance/node it refers to.
 type candidateRef struct {
 	cand     priority.Candidate
 	inst     *instance
 	value    float64
 	imminent bool // true when the candidate belongs to the earliest-deadline incomplete instance
+}
+
+// candSorter stably orders candidate scratch slices by (value, EDF position,
+// node). It lives inside the engine so sorting allocates nothing per decision.
+type candSorter struct{ c []candidateRef }
+
+func (s *candSorter) Len() int      { return len(s.c) }
+func (s *candSorter) Swap(i, j int) { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *candSorter) Less(i, j int) bool {
+	a, b := s.c[i], s.c[j]
+	if a.value != b.value {
+		return a.value < b.value
+	}
+	if a.cand.EDFPosition != b.cand.EDFPosition {
+		return a.cand.EDFPosition < b.cand.EDFPosition
+	}
+	return a.cand.Node < b.cand.Node
 }
 
 // engine is the simulation state.
@@ -105,12 +134,31 @@ type engine struct {
 	now         float64
 	nextRelease []float64
 	jobCounter  []int
-	released    []*instance
+	released    []*instance // incrementally maintained in EDF order (instanceBefore)
 
-	prof  *profile.Profile
-	tr    *trace.Trace
-	res   *Result
-	gstat *graphStatsCollector
+	sink   SegmentSink
+	charge profile.ChargeAccumulator
+	res    *Result
+	gstat  *graphStatsCollector
+
+	labels [][]string // per-(graph, node) labels; nil unless the sink records traces
+
+	// Scratch buffers and pre-bound state reused across scheduling decisions:
+	// after warm-up the decision loop allocates nothing.
+	viewsBuf []dvs.InstanceView
+	candsBuf []candidateRef
+	hypBuf   []dvs.InstanceView // frequencyAfter's hypothetical views
+	segsBuf  []freqSegment
+	realBuf  []processor.RealizationSegment
+	sorter   candSorter
+	prioCtx  priority.Context
+	freeList []*instance // retired instances recycled by release
+
+	// frequencyAfter state: the closure is bound once at construction and
+	// reads the per-decision views/frequency from these fields.
+	fAfterViews []dvs.InstanceView
+	fAfterFreq  float64
+	fAfterFn    func(priority.Candidate, float64) float64
 
 	lastRunning *instance
 	lastNode    int
@@ -125,12 +173,18 @@ func newEngine(cfg Config) *engine {
 		horiz:       cfg.horizon(),
 		nextRelease: make([]float64, cfg.System.NumGraphs()),
 		jobCounter:  make([]int, cfg.System.NumGraphs()),
-		prof:        profile.New(),
-		tr:          trace.New(),
 		res:         &Result{},
 		lastRunning: nil,
 		lastNode:    -1,
 	}
+	e.sink = cfg.Observer
+	if e.sink == nil {
+		e.sink = NewRecorder()
+	}
+	if _, ok := e.sink.(TraceProvider); ok {
+		e.labels = buildLabels(cfg.System)
+	}
+	e.fAfterFn = e.evalFrequencyAfter
 	names := make([]string, cfg.System.NumGraphs())
 	for i, g := range cfg.System.Graphs {
 		names[i] = graphLabel(g, i)
@@ -188,16 +242,34 @@ func (e *engine) releaseDue() {
 	}
 }
 
-func (e *engine) release(gi int, g *taskgraph.Graph, at float64) {
-	in := &instance{
-		graphIndex: gi,
-		jobIndex:   e.jobCounter[gi],
-		release:    at,
-		deadline:   at + g.Period,
-		nodes:      make([]nodeState, g.NumNodes()),
-		remaining:  g.NumNodes(),
-		adjustedWC: g.TotalWCET(),
+// allocInstance returns a reset instance with nn node slots, recycling a
+// retired one when available.
+func (e *engine) allocInstance(nn int) *instance {
+	var in *instance
+	if n := len(e.freeList); n > 0 {
+		in = e.freeList[n-1]
+		e.freeList[n-1] = nil
+		e.freeList = e.freeList[:n-1]
+	} else {
+		in = &instance{}
 	}
+	if cap(in.nodes) >= nn {
+		in.nodes = in.nodes[:nn]
+	} else {
+		in.nodes = make([]nodeState, nn)
+	}
+	return in
+}
+
+func (e *engine) release(gi int, g *taskgraph.Graph, at float64) {
+	in := e.allocInstance(g.NumNodes())
+	in.graphIndex = gi
+	in.jobIndex = e.jobCounter[gi]
+	in.release = at
+	in.deadline = at + g.Period
+	in.remaining = g.NumNodes()
+	in.adjustedWC = g.TotalWCET()
+	in.missed = false
 	e.jobCounter[gi]++
 	for i := range in.nodes {
 		id := taskgraph.NodeID(i)
@@ -213,9 +285,20 @@ func (e *engine) release(gi int, g *taskgraph.Graph, at float64) {
 			in.nodes[i].actual = cycleEpsilon
 		}
 	}
-	e.released = append(e.released, in)
+	e.insertReleased(in)
 	e.res.JobsReleased++
 	e.gstat.released(gi)
+}
+
+// insertReleased inserts the instance at its EDF position, keeping the
+// released list sorted at all times (instanceBefore is a strict total order,
+// so incremental insertion reproduces exactly the order a stable sort of the
+// whole list would).
+func (e *engine) insertReleased(in *instance) {
+	i := sort.Search(len(e.released), func(i int) bool { return instanceBefore(in, e.released[i]) })
+	e.released = append(e.released, nil)
+	copy(e.released[i+1:], e.released[i:])
+	e.released[i] = in
 }
 
 // recordMisses flags instances whose deadline passed while work remains.
@@ -235,13 +318,18 @@ func (e *engine) recordMisses() {
 // paper's rule that WC_i reflects the actual computations "as long as the new
 // instance of the taskgraph Ti is not released", which is also what keeps the
 // ccEDF/laEDF utilisation accounting (and hence the deadline guarantee)
-// intact.
+// intact. Dropped instances return to the free list for recycling.
 func (e *engine) dropCompleted() {
 	out := e.released[:0]
 	for _, in := range e.released {
 		if in.remaining > 0 || in.deadline > e.now+timeEpsilon {
 			out = append(out, in)
+		} else {
+			e.freeList = append(e.freeList, in)
 		}
+	}
+	for i := len(out); i < len(e.released); i++ {
+		e.released[i] = nil
 	}
 	e.released = out
 }
@@ -257,30 +345,21 @@ func (e *engine) hasPendingWork() bool {
 	return false
 }
 
-// views returns the InstanceViews of all released incomplete instances in EDF
-// order (earliest absolute deadline first, ties broken by release time and
-// graph index so the order is total and deterministic).
+// views returns the InstanceViews of all released instances. The released
+// list is maintained in EDF order incrementally (see insertReleased), so no
+// per-decision sort is needed; the views land in a scratch buffer reused
+// across decisions.
 func (e *engine) views() []dvs.InstanceView {
-	sort.SliceStable(e.released, func(i, j int) bool {
-		a, b := e.released[i], e.released[j]
-		if a.deadline != b.deadline {
-			return a.deadline < b.deadline
-		}
-		if a.release != b.release {
-			return a.release < b.release
-		}
-		return a.graphIndex < b.graphIndex
-	})
-	views := make([]dvs.InstanceView, len(e.released))
-	for i, in := range e.released {
-		views[i] = in.view(e.sys.Graphs[in.graphIndex])
+	e.viewsBuf = e.viewsBuf[:0]
+	for _, in := range e.released {
+		e.viewsBuf = append(e.viewsBuf, in.view(e.sys.Graphs[in.graphIndex]))
 	}
-	return views
+	return e.viewsBuf
 }
 
 // realize maps fref onto the processor: the effective execution frequency and
 // the constant-current segments (share of the interval, frequency, battery
-// current) used for profile/trace generation.
+// current) used for segment emission.
 type freqSegment struct {
 	share     float64
 	frequency float64
@@ -289,25 +368,28 @@ type freqSegment struct {
 
 func (e *engine) realize(fref float64) (float64, []freqSegment) {
 	p := e.cfg.Processor
+	e.segsBuf = e.segsBuf[:0]
 	if e.cfg.FrequencyMode == DiscreteFrequency || e.cfg.FrequencyMode == DiscreteCeilFrequency {
 		var r processor.Realization
 		if e.cfg.FrequencyMode == DiscreteCeilFrequency {
-			r = p.RealizeCeil(fref)
+			r = p.RealizeCeilInto(fref, e.realBuf)
 		} else {
-			r = p.Realize(fref)
+			r = p.RealizeInto(fref, e.realBuf)
 		}
-		segs := make([]freqSegment, 0, len(r.Segments))
+		if cap(r.Segments) > cap(e.realBuf) {
+			e.realBuf = r.Segments
+		}
 		for _, s := range r.Segments {
 			if s.Share <= 0 {
 				continue
 			}
-			segs = append(segs, freqSegment{
+			e.segsBuf = append(e.segsBuf, freqSegment{
 				share:     s.Share,
 				frequency: s.Point.Frequency,
 				current:   p.BatteryCurrentAtPoint(s.Point) + p.IdleCurrent,
 			})
 		}
-		return r.EffectiveFrequency(), segs
+		return r.EffectiveFrequency(), e.segsBuf
 	}
 	// Continuous mode: the idealised processor runs exactly at fref (only the
 	// upper bound fmax applies) and draws the cubic-law battery current the
@@ -319,7 +401,8 @@ func (e *engine) realize(fref float64) (float64, []freqSegment) {
 	if f < 0 {
 		f = 0
 	}
-	return f, []freqSegment{{share: 1, frequency: f, current: p.BatteryCurrentIdeal(f) + p.IdleCurrent}}
+	e.segsBuf = append(e.segsBuf, freqSegment{share: 1, frequency: f, current: p.BatteryCurrentIdeal(f) + p.IdleCurrent})
+	return f, e.segsBuf
 }
 
 // candidates builds the ready list according to the configured policy. The
@@ -328,9 +411,9 @@ func (e *engine) realize(fref float64) (float64, []freqSegment) {
 // candidates. The first incomplete instance in EDF order is the "most
 // imminent" one: its candidates are always admissible without a feasibility
 // check, and under the MostImminentOnly policy only its candidates are
-// offered.
+// offered. The returned slice is a scratch buffer reused across decisions.
 func (e *engine) candidates(views []dvs.InstanceView, effFreq float64) []candidateRef {
-	var out []candidateRef
+	out := e.candsBuf[:0]
 	imminentPos := -1
 	for pos, in := range e.released {
 		if in.remaining == 0 {
@@ -363,6 +446,7 @@ func (e *engine) candidates(views []dvs.InstanceView, effFreq float64) []candida
 			})
 		}
 	}
+	e.candsBuf = out
 	return out
 }
 
@@ -389,28 +473,22 @@ func (e *engine) estimateRemaining(in *instance, ni int, ns *nodeState) float64 
 // the feasibility check, and if none passes the best most-imminent candidate
 // is used (which always exists, so deadlines are never at risk).
 func (e *engine) choose(cands []candidateRef, views []dvs.InstanceView, effFreq float64) candidateRef {
-	ctx := &priority.Context{
+	e.prioCtx = priority.Context{
 		Now:              e.now,
 		CurrentFrequency: effFreq,
 		FMax:             e.fmax,
 		Rand:             e.rng,
 	}
 	if !e.cfg.LocalSpeedModel {
-		ctx.FrequencyAfter = e.frequencyAfter(views, effFreq)
+		e.fAfterViews = views
+		e.fAfterFreq = effFreq
+		e.prioCtx.FrequencyAfter = e.fAfterFn
 	}
 	for i := range cands {
-		cands[i].value = e.cfg.Priority.Priority(cands[i].cand, ctx)
+		cands[i].value = e.cfg.Priority.Priority(cands[i].cand, &e.prioCtx)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.value != b.value {
-			return a.value < b.value
-		}
-		if a.cand.EDFPosition != b.cand.EDFPosition {
-			return a.cand.EDFPosition < b.cand.EDFPosition
-		}
-		return a.cand.Node < b.cand.Node
-	})
+	e.sorter.c = cands
+	sort.Stable(&e.sorter)
 	for _, c := range cands {
 		if c.imminent {
 			return c
@@ -434,41 +512,45 @@ func (e *engine) choose(cands []candidateRef, views []dvs.InstanceView, effFreq 
 	return cands[0]
 }
 
-// frequencyAfter returns the closure used by pUBS to evaluate s_{o,k}: the
+// evalFrequencyAfter is the closure used by pUBS to evaluate s_{o,k}: the
 // reference frequency the DVS algorithm would select if the candidate
-// completed next after consuming assumedCycles.
-func (e *engine) frequencyAfter(views []dvs.InstanceView, effFreq float64) func(priority.Candidate, float64) float64 {
-	return func(c priority.Candidate, assumedCycles float64) float64 {
-		hyp := append([]dvs.InstanceView(nil), views...)
-		if c.EDFPosition >= 0 && c.EDFPosition < len(hyp) {
-			v := hyp[c.EDFPosition]
-			v.AdjustedWCET = v.AdjustedWCET - c.RemainingWCET + assumedCycles
-			if v.AdjustedWCET < 0 {
-				v.AdjustedWCET = 0
-			}
-			v.RemainingWorstCase -= c.RemainingWCET
-			if v.RemainingWorstCase < 0 {
-				v.RemainingWorstCase = 0
-			}
-			hyp[c.EDFPosition] = v
+// completed next after consuming assumedCycles. It is bound once per engine
+// (fAfterFn) and reads the current decision's views and effective frequency
+// from fAfterViews/fAfterFreq; the hypothetical views land in one scratch
+// buffer reused across every candidate evaluation (previously a fresh copy of
+// the whole views slice was allocated per candidate — O(candidates ×
+// instances) allocations per decision under pUBS).
+func (e *engine) evalFrequencyAfter(c priority.Candidate, assumedCycles float64) float64 {
+	e.hypBuf = append(e.hypBuf[:0], e.fAfterViews...)
+	hyp := e.hypBuf
+	if c.EDFPosition >= 0 && c.EDFPosition < len(hyp) {
+		v := hyp[c.EDFPosition]
+		v.AdjustedWCET = v.AdjustedWCET - c.RemainingWCET + assumedCycles
+		if v.AdjustedWCET < 0 {
+			v.AdjustedWCET = 0
 		}
-		then := e.now
-		if effFreq > 0 {
-			then += assumedCycles / effFreq
+		v.RemainingWorstCase -= c.RemainingWCET
+		if v.RemainingWorstCase < 0 {
+			v.RemainingWorstCase = 0
 		}
-		return e.cfg.DVS.SelectFrequency(then, e.fmax, hyp)
+		hyp[c.EDFPosition] = v
 	}
+	then := e.now
+	if e.fAfterFreq > 0 {
+		then += assumedCycles / e.fAfterFreq
+	}
+	return e.cfg.DVS.SelectFrequency(then, e.fmax, hyp)
 }
 
-// idle advances time with the processor idle, emitting trace and profile
-// segments at the idle current.
+// idle advances time with the processor idle, emitting one segment at the
+// idle current.
 func (e *engine) idle(dur float64) {
 	if dur <= 0 {
 		return
 	}
 	cur := e.cfg.Processor.IdleCurrent
-	e.prof.Append(dur, cur)
-	e.tr.Append(trace.Slice{Start: e.now, Duration: dur, Idle: true, Current: cur})
+	e.charge.Append(dur, cur)
+	e.sink.AppendSegment(Segment{Start: e.now, Duration: dur, Idle: true, Current: cur})
 	e.res.IdleTime += dur
 	e.now += dur
 	e.lastRunning = nil
@@ -529,11 +611,11 @@ func (e *engine) execute(c candidateRef, effFreq float64, segments []freqSegment
 		cycles = ns.acRemaining()
 	}
 
-	// Emit the trace and profile segments (higher-frequency portion first so
-	// the within-interval current profile is non-increasing).
-	label := g.Nodes[c.cand.Node].Name
-	if label == "" {
-		label = fmt.Sprintf("%s.n%d", graphLabel(g, in.graphIndex), c.cand.Node)
+	// Emit one segment per realised frequency level (higher-frequency portion
+	// first so the within-interval current profile is non-increasing).
+	var label string
+	if e.labels != nil {
+		label = e.labels[in.graphIndex][c.cand.Node]
 	}
 	start := e.now
 	for _, seg := range segments {
@@ -541,8 +623,8 @@ func (e *engine) execute(c candidateRef, effFreq float64, segments []freqSegment
 		if d <= 0 {
 			continue
 		}
-		e.prof.Append(d, seg.current)
-		e.tr.Append(trace.Slice{
+		e.charge.Append(d, seg.current)
+		e.sink.AppendSegment(Segment{
 			Start:      start,
 			Duration:   d,
 			GraphIndex: in.graphIndex,
@@ -595,13 +677,19 @@ func (e *engine) completeNode(in *instance, nodeIdx int, ns *nodeState, g *taskg
 	}
 }
 
-// finalize fills the derived fields of the Result.
+// finalize fills the derived fields of the Result. The profile and trace are
+// attached when the configured sink built them (the default Recorder builds
+// both; accumulate-only sinks leave them nil).
 func (e *engine) finalize() {
-	e.res.Profile = e.prof
-	e.res.Trace = e.tr
+	if p, ok := e.sink.(ProfileProvider); ok {
+		e.res.Profile = p.BuiltProfile()
+	}
+	if t, ok := e.sink.(TraceProvider); ok {
+		e.res.Trace = t.BuiltTrace()
+	}
 	e.res.Horizon = e.now
 	vbat := e.cfg.Processor.BatteryVoltage
-	e.res.EnergyBattery = e.prof.Charge() * vbat
+	e.res.EnergyBattery = e.charge.Charge() * vbat
 	e.res.EnergyProcessor = e.res.EnergyBattery * e.cfg.Processor.ConverterEfficiency
 	if e.res.BusyTime > 0 {
 		e.res.AverageFrequency = e.res.ExecutedCycles / e.res.BusyTime

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"battsched/internal/profile"
+	"battsched/internal/taskgraph"
+	"battsched/internal/trace"
+)
+
+// Segment is one constant-state interval emitted by the engine: the processor
+// either executed one node at one frequency or idled, drawing a constant
+// battery current throughout. Segments arrive in simulation order and tile the
+// horizon exactly; they are the single stream from which profiles, traces and
+// energy totals derive.
+type Segment struct {
+	// Start is the absolute start time in seconds.
+	Start float64
+	// Duration in seconds (> 0).
+	Duration float64
+	// Idle reports whether the processor idled during the segment.
+	Idle bool
+	// GraphIndex and Node identify the executing node (valid when !Idle).
+	GraphIndex int
+	Node       int
+	// Instance is the job number of the executing task-graph instance.
+	Instance int
+	// Label is the human-readable node label ("T1.n3"). It is populated only
+	// when the configured sink implements TraceProvider (labels cost a
+	// per-node string table the pure-aggregation sinks do not need);
+	// GraphIndex/Node always identify the node.
+	Label string
+	// Frequency is the processor frequency in Hz (0 when idle).
+	Frequency float64
+	// Current is the battery current in amperes.
+	Current float64
+}
+
+// SegmentSink observes the segments a simulation emits. The engine invokes
+// AppendSegment once per constant-state interval, in simulation order, on the
+// goroutine running the simulation. Experiment sweeps plug in cheap
+// accumulate-only sinks (Discard, NewProfileRecorder) where the interactive
+// CLIs keep full traces (NewRecorder); Config.Observer selects the sink.
+//
+// The engine accumulates the battery charge (and hence Result.EnergyBattery)
+// internally, so even the Discard sink loses no energy accounting.
+type SegmentSink interface {
+	AppendSegment(Segment)
+}
+
+// ProfileProvider is implemented by sinks that build a load-current profile;
+// the engine attaches it to Result.Profile at the end of the run.
+type ProfileProvider interface {
+	BuiltProfile() *profile.Profile
+}
+
+// TraceProvider is implemented by sinks that build an execution trace; the
+// engine attaches it to Result.Trace at the end of the run and computes node
+// labels for the emitted segments.
+type TraceProvider interface {
+	BuiltTrace() *trace.Trace
+}
+
+// discardSink drops every segment.
+type discardSink struct{}
+
+// AppendSegment implements SegmentSink.
+func (discardSink) AppendSegment(Segment) {}
+
+// Discard is the no-op sink: scheduling statistics and energy totals are
+// still accumulated by the engine, but no profile or trace is recorded. It is
+// the cheapest sink and the default for energy-only experiment sweeps.
+var Discard SegmentSink = discardSink{}
+
+// ProfileRecorder records only the battery load-current profile — what the
+// battery-lifetime experiments need — skipping the execution trace.
+type ProfileRecorder struct {
+	p *profile.Profile
+}
+
+// NewProfileRecorder returns an empty profile-only sink.
+func NewProfileRecorder() *ProfileRecorder { return &ProfileRecorder{p: profile.New()} }
+
+// AppendSegment implements SegmentSink.
+func (r *ProfileRecorder) AppendSegment(s Segment) { r.p.Append(s.Duration, s.Current) }
+
+// BuiltProfile implements ProfileProvider.
+func (r *ProfileRecorder) BuiltProfile() *profile.Profile { return r.p }
+
+// Recorder records the full execution history: the battery load-current
+// profile and the per-node execution trace. It is the default sink when
+// Config.Observer is nil, preserving the historical behaviour of Run.
+type Recorder struct {
+	p *profile.Profile
+	t *trace.Trace
+}
+
+// NewRecorder returns an empty full-recording sink.
+func NewRecorder() *Recorder { return &Recorder{p: profile.New(), t: trace.New()} }
+
+// AppendSegment implements SegmentSink.
+func (r *Recorder) AppendSegment(s Segment) {
+	r.p.Append(s.Duration, s.Current)
+	if s.Idle {
+		r.t.Append(trace.Slice{Start: s.Start, Duration: s.Duration, Idle: true, Current: s.Current})
+		return
+	}
+	r.t.Append(trace.Slice{
+		Start:      s.Start,
+		Duration:   s.Duration,
+		GraphIndex: s.GraphIndex,
+		Node:       s.Node,
+		Label:      s.Label,
+		Instance:   s.Instance,
+		Frequency:  s.Frequency,
+		Current:    s.Current,
+	})
+}
+
+// BuiltProfile implements ProfileProvider.
+func (r *Recorder) BuiltProfile() *profile.Profile { return r.p }
+
+// BuiltTrace implements TraceProvider.
+func (r *Recorder) BuiltTrace() *trace.Trace { return r.t }
+
+// buildLabels precomputes the per-(graph, node) labels trace-recording sinks
+// receive in Segment.Label: the node's name, or "<graph>.n<id>" when unnamed.
+func buildLabels(sys *taskgraph.System) [][]string {
+	labels := make([][]string, len(sys.Graphs))
+	for gi, g := range sys.Graphs {
+		ls := make([]string, g.NumNodes())
+		for ni := range ls {
+			ls[ni] = g.Nodes[ni].Name
+			if ls[ni] == "" {
+				ls[ni] = fmt.Sprintf("%s.n%d", graphLabel(g, gi), ni)
+			}
+		}
+		labels[gi] = ls
+	}
+	return labels
+}

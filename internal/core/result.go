@@ -10,8 +10,12 @@ import (
 // Result summarises one scheduling simulation.
 type Result struct {
 	// Profile is the battery load-current profile of the simulated horizon.
+	// It is populated when the configured observer builds one (the default
+	// Recorder and NewProfileRecorder do; Discard leaves it nil).
 	Profile *profile.Profile
 	// Trace is the execution trace (which node ran when, at which frequency).
+	// It is populated when the configured observer builds one (the default
+	// Recorder does; profile-only and no-op sinks leave it nil).
 	Trace *trace.Trace
 	// Horizon is the simulated duration in seconds (it may exceed the
 	// configured horizon slightly if work released before the horizon needed

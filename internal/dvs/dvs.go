@@ -49,8 +49,21 @@ type Algorithm interface {
 }
 
 // sortEDF returns the instances sorted by absolute deadline (stable, earliest
-// first) without modifying the input.
+// first) without modifying the input. The scheduler always passes views in
+// EDF order already, in which case the input is returned as-is (read-only)
+// and no copy is allocated — a stable sort of an already-sorted slice is the
+// identity, so the result is unchanged.
 func sortEDF(instances []InstanceView) []InstanceView {
+	sorted := true
+	for i := 1; i < len(instances); i++ {
+		if instances[i].AbsoluteDeadline < instances[i-1].AbsoluteDeadline {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return instances
+	}
 	out := append([]InstanceView(nil), instances...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].AbsoluteDeadline < out[j].AbsoluteDeadline })
 	return out

@@ -68,7 +68,11 @@ type ablationSample struct {
 // over all released graphs, the configuration in which ordering effects are
 // fully visible) with a perfect oracle, a history estimator and a pessimistic
 // fixed estimator, each normalised by random ordering on the same workload.
-// Each task-graph set runs as one job of the runner harness.
+// Each task-graph set runs as one job of the runner harness; samples stream
+// back in set order and fold into per-variant accumulators. With
+// RunOptions.TargetCI set, additional batches of sets run until the relative
+// CI95 of every variant's normalised energy (the key metric) converges or
+// MaxSets is reached.
 func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
@@ -89,7 +93,7 @@ func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]Est
 		{"pessimistic (X_k = WCET)", false, func() priority.Estimator { return priority.OracleEstimator{Fraction: 1} }},
 	}
 
-	samples, err := runner.Run(ctx, cfg.Sets, cfg.runnerOptions(), func(_ context.Context, set int) (ablationSample, error) {
+	job := func(set int) (ablationSample, error) {
 		seed := runner.SeedFor(cfg.Seed, int64(set))
 		rng := runner.RNG(cfg.Seed, int64(set))
 		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
@@ -109,6 +113,8 @@ func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]Est
 				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
 				Hyperperiods:    cfg.Hyperperiods,
 				Seed:            seed,
+				// Only energies are compared; skip profile/trace recording.
+				Observer: core.Discard,
 			})
 		}
 		baseline, err := runOne(priority.NewRandom(), false, nil)
@@ -134,20 +140,33 @@ func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]Est
 			sample.normalised[i] = res.EnergyBattery / baseline.EnergyBattery
 		}
 		return sample, nil
+	}
+
+	accs := make([]stats.Accumulator, len(variants))
+	_, err := runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
+		return runner.RunStream(ctx, hi-lo, cfg.runnerOptions(), func(_ context.Context, i int) (ablationSample, error) {
+			return job(lo + i) // absolute set index: seeds are batch-independent
+		}, func(_ int, sample ablationSample) error {
+			if !sample.ok {
+				return nil
+			}
+			for i, v := range sample.normalised {
+				accs[i].Add(v)
+			}
+			return nil
+		})
+	}, func() bool {
+		for i := range accs {
+			if !converged(cfg.TargetCI, &accs[i]) {
+				return false
+			}
+		}
+		return true
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	accs := make([]stats.Accumulator, len(variants))
-	for _, sample := range samples {
-		if !sample.ok {
-			continue
-		}
-		for i, v := range sample.normalised {
-			accs[i].Add(v)
-		}
-	}
 	rows := make([]EstimateAblationRow, len(variants))
 	for i, v := range variants {
 		rows[i] = EstimateAblationRow{Estimator: v.name, EnergyVsRandom: accs[i].Mean(), Samples: accs[i].N()}

@@ -50,8 +50,10 @@ type CurveSeries struct {
 }
 
 // RunLoadCapacityCurve sweeps constant loads for each requested battery
-// model. Each (model, current) cell is one job of the runner harness: a fresh
-// battery instance simulated to exhaustion at that constant load.
+// model. Each (model, current) cell is one job of the runner harness: a
+// fresh battery instance simulated to exhaustion at that constant load.
+// Points stream directly into the output series. The sweep is deterministic
+// (no stochastic sets), so RunOptions.TargetCI has no effect here.
 func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, error) {
 	if len(cfg.Models) == 0 {
 		cfg.Models = DefaultCurveConfig().Models
@@ -72,26 +74,25 @@ func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, 
 		return nil, err
 	}
 
+	out := make([]CurveSeries, len(cfg.Models))
+	for mi, name := range cfg.Models {
+		out[mi] = CurveSeries{Model: name, Points: make([]battery.CurvePoint, len(cfg.Currents))}
+	}
 	grid := runner.NewGrid(len(cfg.Models), len(cfg.Currents))
-	points, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (battery.CurvePoint, error) {
+	err = runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (battery.CurvePoint, error) {
 		c := grid.Coords(idx)
 		pts, err := battery.DeliveredCapacityCurve(factories[c[0]](), []float64{cfg.Currents[c[1]]}, cfg.MaxHours*3600)
 		if err != nil {
 			return battery.CurvePoint{}, err
 		}
 		return pts[0], nil
+	}, func(idx int, p battery.CurvePoint) error {
+		c := grid.Coords(idx)
+		out[c[0]].Points[c[1]] = p
+		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-
-	out := make([]CurveSeries, len(cfg.Models))
-	for mi, name := range cfg.Models {
-		series := CurveSeries{Model: name, Points: make([]battery.CurvePoint, len(cfg.Currents))}
-		for ci := range cfg.Currents {
-			series.Points[ci] = points[grid.Index(mi, ci)]
-		}
-		out[mi] = series
 	}
 	return out, nil
 }

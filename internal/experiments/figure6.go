@@ -7,6 +7,7 @@ import (
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
+	"battsched/internal/processor"
 	"battsched/internal/runner"
 	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
@@ -104,9 +105,45 @@ type figure6Sample struct {
 	ok         bool
 }
 
+// figure6Job simulates the near-optimal baseline and every ordering scheme on
+// the workload of one (graph count, set) cell.
+func figure6Job(cfg Figure6Config, proc *processor.Model, alg func() dvs.Algorithm, schemes []figure6Scheme, count, set int) (figure6Sample, error) {
+	seed := runner.SeedFor(cfg.Seed, int64(count), int64(set))
+	rng := runner.RNG(cfg.Seed, int64(count), int64(set))
+	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), count, cfg.Utilization, proc.FMax(), rng)
+	if err != nil {
+		return figure6Sample{}, err
+	}
+	// Near-optimal baseline: same workload with precedence removed,
+	// scheduled with pUBS over all released graphs and oracle estimates.
+	baseline, err := runScheme(sys.Clone(), alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, seed, true)
+	if err != nil {
+		return figure6Sample{}, err
+	}
+	if baseline.EnergyBattery <= 0 {
+		return figure6Sample{}, nil
+	}
+	sample := figure6Sample{normalised: make([]float64, len(schemes)), ok: true}
+	for i, s := range schemes {
+		res, err := runScheme(sys.Clone(), alg(), s.prio(), s.policy, false, cfg.OracleEstimates, cfg, seed, true)
+		if err != nil {
+			return figure6Sample{}, err
+		}
+		if res.DeadlineMisses > 0 {
+			return figure6Sample{}, fmt.Errorf("experiments: figure 6 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+		}
+		sample.normalised[i] = res.EnergyBattery / baseline.EnergyBattery
+	}
+	return sample, nil
+}
+
 // RunFigure6 regenerates Figure 6. The (graph count × set) grid runs as
 // independent jobs; each job simulates the baseline and the four ordering
-// schemes on its own workload.
+// schemes on its own workload. Samples stream back in job order and fold
+// into per-(count, scheme) accumulators; with RunOptions.TargetCI set,
+// additional batches of sets run per point until the relative CI95 of every
+// scheme's normalised energy (the key metric) converges or MaxSets is
+// reached.
 func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 	if len(cfg.GraphCounts) == 0 || cfg.SetsPerCount <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
@@ -123,37 +160,38 @@ func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 	}
 	schemes := figure6Schemes()
 
-	grid := runner.NewGrid(len(cfg.GraphCounts), cfg.SetsPerCount)
-	samples, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (figure6Sample, error) {
-		c := grid.Coords(idx)
-		count, set := cfg.GraphCounts[c[0]], c[1]
-		seed := runner.SeedFor(cfg.Seed, int64(count), int64(set))
-		rng := runner.RNG(cfg.Seed, int64(count), int64(set))
-		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), count, cfg.Utilization, proc.FMax(), rng)
-		if err != nil {
-			return figure6Sample{}, err
-		}
-		// Near-optimal baseline: same workload with precedence removed,
-		// scheduled with pUBS over all released graphs and oracle estimates.
-		baseline, err := runScheme(sys.Clone(), alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, seed, true)
-		if err != nil {
-			return figure6Sample{}, err
-		}
-		if baseline.EnergyBattery <= 0 {
-			return figure6Sample{}, nil
-		}
-		sample := figure6Sample{normalised: make([]float64, len(schemes)), ok: true}
-		for i, s := range schemes {
-			res, err := runScheme(sys.Clone(), alg(), s.prio(), s.policy, false, cfg.OracleEstimates, cfg, seed, true)
-			if err != nil {
-				return figure6Sample{}, err
+	accs := make([][]stats.Accumulator, len(cfg.GraphCounts))
+	samplesOK := make([]int, len(cfg.GraphCounts))
+	for i := range accs {
+		accs[i] = make([]stats.Accumulator, len(schemes))
+	}
+	_, err := runAdaptiveSets(cfg.RunOptions, cfg.SetsPerCount, func(lo, hi int) error {
+		grid := runner.NewGrid(len(cfg.GraphCounts), hi-lo)
+		return runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (figure6Sample, error) {
+			c := grid.Coords(idx)
+			// The set index is absolute (lo+c[1]), so a sample's random
+			// stream does not depend on the batch layout.
+			return figure6Job(cfg, proc, alg, schemes, cfg.GraphCounts[c[0]], lo+c[1])
+		}, func(idx int, sample figure6Sample) error {
+			if !sample.ok {
+				return nil
 			}
-			if res.DeadlineMisses > 0 {
-				return figure6Sample{}, fmt.Errorf("experiments: figure 6 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+			ci := grid.Coords(idx)[0]
+			samplesOK[ci]++
+			for i, v := range sample.normalised {
+				accs[ci][i].Add(v)
 			}
-			sample.normalised[i] = res.EnergyBattery / baseline.EnergyBattery
+			return nil
+		})
+	}, func() bool {
+		for ci := range accs {
+			for i := range accs[ci] {
+				if !converged(cfg.TargetCI, &accs[ci][i]) {
+					return false
+				}
+			}
 		}
-		return sample, nil
+		return true
 	})
 	if err != nil {
 		return nil, err
@@ -161,25 +199,13 @@ func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 
 	rows := make([]Figure6Row, 0, len(cfg.GraphCounts))
 	for ci, count := range cfg.GraphCounts {
-		accs := make([]stats.Accumulator, len(schemes))
-		samplesOK := 0
-		for set := 0; set < cfg.SetsPerCount; set++ {
-			sample := samples[grid.Index(ci, set)]
-			if !sample.ok {
-				continue
-			}
-			samplesOK++
-			for i, v := range sample.normalised {
-				accs[i].Add(v)
-			}
-		}
 		rows = append(rows, Figure6Row{
 			Graphs:          count,
-			Random:          accs[0].Mean(),
-			LTF:             accs[1].Mean(),
-			PUBSImminent:    accs[2].Mean(),
-			PUBSAllReleased: accs[3].Mean(),
-			Samples:         samplesOK,
+			Random:          accs[ci][0].Mean(),
+			LTF:             accs[ci][1].Mean(),
+			PUBSImminent:    accs[ci][2].Mean(),
+			PUBSAllReleased: accs[ci][3].Mean(),
+			Samples:         samplesOK[ci],
 		})
 	}
 	return rows, nil
@@ -210,5 +236,8 @@ func runScheme(sys *taskgraph.System, alg dvs.Algorithm, prio priority.Function,
 		Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
 		Hyperperiods:    cfg.Hyperperiods,
 		Seed:            seed,
+		// The figure only compares energies, which the engine accumulates
+		// itself: no profile or trace recording is needed.
+		Observer: core.Discard,
 	})
 }

@@ -135,9 +135,12 @@ func schemesByName(names []string) ([]table2Scheme, error) {
 // (utilisation × scheme × set-chunk) cells: a job schedules its chunk of sets
 // sequentially and evaluates every battery model against each set's load
 // profile (the profile does not depend on the battery, so batteries share the
-// scheduling work). Per-job accumulators are merged in chunk order
-// (stats.Accumulator.Merge), so the sweep is deterministic at any
-// parallelism.
+// scheduling work). Chunk partials stream back in job order and merge into
+// per-cell accumulators (stats.Accumulator.Merge), so the sweep is
+// deterministic at any parallelism and never materialises the full grid.
+// With RunOptions.TargetCI set, additional batches of sets run until the
+// relative CI95 of every cell's battery lifetime (the key metric) converges
+// or MaxSets is reached.
 //
 // Within one utilisation point, every (battery, scheme) cell replays the same
 // task-graph sets and actual execution requirements — the set seed depends
@@ -173,21 +176,17 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 		return nil, err
 	}
 	proc := defaultProcessor()
-	chunks := (cfg.Sets + cfg.SetsPerJob - 1) / cfg.SetsPerJob
 
-	grid := runner.NewGrid(len(cfg.Utilizations), len(schemes), chunks)
-	partials, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (scenarioPartial, error) {
-		c := grid.Coords(idx)
-		ui, si, chunk := c[0], c[1], c[2]
+	// chunkJob simulates sets [setLo, setHi) of one (utilisation, scheme)
+	// cell and returns mergeable accumulators.
+	chunkJob := func(ui, si, setLo, setHi int) (scenarioPartial, error) {
 		util := cfg.Utilizations[ui]
 		scheme := schemes[si]
 		part := scenarioPartial{
 			charge: make([]stats.Accumulator, len(factories)),
 			life:   make([]stats.Accumulator, len(factories)),
 		}
-		lo := chunk * cfg.SetsPerJob
-		hi := min(lo+cfg.SetsPerJob, cfg.Sets)
-		for set := lo; set < hi; set++ {
+		for set := setLo; set < setHi; set++ {
 			// The workload seed is shared by every (battery, scheme) cell of
 			// this utilisation point so cells stay comparable.
 			seed := runner.SeedFor(cfg.Seed, int64(ui), int64(set))
@@ -206,6 +205,9 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
 				Hyperperiods:    cfg.Hyperperiods,
 				Seed:            seed,
+				// The battery models need only the load profile; the trace
+				// is never recorded.
+				Observer: core.NewProfileRecorder(),
 			})
 			if err != nil {
 				return scenarioPartial{}, err
@@ -226,6 +228,61 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 			}
 		}
 		return part, nil
+	}
+
+	// cellAgg folds the streamed chunk partials of one (utilisation, battery,
+	// scheme) cell; chunks arrive in deterministic order, so the merges
+	// reassociate identically at any parallelism.
+	type cellAgg struct {
+		charge, life stats.Accumulator
+		misses       int
+	}
+	aggs := make([][][]cellAgg, len(cfg.Utilizations)) // [ui][si][bi]
+	for ui := range aggs {
+		aggs[ui] = make([][]cellAgg, len(schemes))
+		for si := range aggs[ui] {
+			aggs[ui][si] = make([]cellAgg, len(factories))
+		}
+	}
+
+	_, err = runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
+		// Chunk boundaries are aligned to absolute set-index multiples of
+		// SetsPerJob, not to the batch start, so the chunk layout — and
+		// hence the Welford merge association — does not depend on how the
+		// adaptive loop sliced the set range into batches. (A chunk that
+		// straddles a batch boundary is still split; see SetsPerJob's doc
+		// for the rounding-error-only consequence.)
+		kLo, kHi := lo/cfg.SetsPerJob, (hi+cfg.SetsPerJob-1)/cfg.SetsPerJob
+		grid := runner.NewGrid(len(cfg.Utilizations), len(schemes), kHi-kLo)
+		return runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (scenarioPartial, error) {
+			c := grid.Coords(idx)
+			setLo := max((kLo+c[2])*cfg.SetsPerJob, lo)
+			setHi := min((kLo+c[2]+1)*cfg.SetsPerJob, hi)
+			return chunkJob(c[0], c[1], setLo, setHi)
+		}, func(idx int, part scenarioPartial) error {
+			c := grid.Coords(idx)
+			for bi := range factories {
+				a := &aggs[c[0]][c[1]][bi]
+				a.charge.Merge(part.charge[bi])
+				a.life.Merge(part.life[bi])
+				// The scheduling simulations are shared across batteries, so
+				// every battery row of a (utilisation, scheme) cell reports
+				// the misses of the same underlying runs.
+				a.misses += part.misses
+			}
+			return nil
+		})
+	}, func() bool {
+		for ui := range aggs {
+			for si := range aggs[ui] {
+				for bi := range aggs[ui][si] {
+					if !converged(cfg.TargetCI, &aggs[ui][si][bi].life) {
+						return false
+					}
+				}
+			}
+		}
+		return true
 	})
 	if err != nil {
 		return nil, err
@@ -235,24 +292,14 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 	for ui, util := range cfg.Utilizations {
 		for bi, bat := range cfg.Batteries {
 			for si, scheme := range schemes {
-				var charge, life stats.Accumulator
-				misses := 0
-				for chunk := 0; chunk < chunks; chunk++ {
-					part := partials[grid.Index(ui, si, chunk)]
-					charge.Merge(part.charge[bi])
-					life.Merge(part.life[bi])
-					// The scheduling simulations are shared across batteries,
-					// so every battery row of a (utilisation, scheme) cell
-					// reports the misses of the same underlying runs.
-					misses += part.misses
-				}
+				a := &aggs[ui][si][bi]
 				rows = append(rows, ScenarioGridRow{
 					Utilization:    util,
 					Battery:        bat,
 					Scheme:         scheme.name,
-					Charge:         charge.Summary(),
-					Life:           life.Summary(),
-					DeadlineMisses: misses,
+					Charge:         a.charge.Summary(),
+					Life:           a.life.Summary(),
+					DeadlineMisses: a.misses,
 				})
 			}
 		}

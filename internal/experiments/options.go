@@ -1,27 +1,103 @@
 package experiments
 
-import "battsched/internal/runner"
+import (
+	"battsched/internal/runner"
+	"battsched/internal/stats"
+)
 
 // RunOptions are the execution knobs shared by every experiment driver. They
 // are embedded in each experiment's config, so the zero value (full
-// parallelism, no progress reporting) is always usable.
+// parallelism, no progress reporting, fixed set counts) is always usable.
 //
 // All experiments enumerate their (set × scheme × sweep-point) grid as
-// independent jobs of the internal/runner harness. Each job derives its own
-// random stream from the experiment seed and its grid coordinates, and the
-// per-job results are folded in job order, so every experiment is
-// byte-identical at any Parallel value.
+// independent jobs of the internal/runner harness. Jobs stream back in
+// deterministic job order (runner.RunStream) and the drivers fold them into
+// stats.Accumulators as they arrive, so no driver materialises its result
+// grid and every experiment is byte-identical at any Parallel value.
 type RunOptions struct {
 	// Parallel is the worker-pool size; <= 0 selects runtime.GOMAXPROCS(0)
 	// and 1 forces sequential execution.
 	Parallel int
 	// Progress, when non-nil, is called after each completed job with the
 	// completed and total job counts. It must be fast and is called from
-	// worker goroutines (serialised).
+	// worker goroutines (serialised). Under adaptive stopping the callback
+	// restarts from zero for each batch of sets.
 	Progress func(done, total int)
+	// TargetCI enables adaptive set counts: the driver runs batches of sets
+	// (each the size of the configured set count) until the relative
+	// Student-t CI95 half-width of its key metric falls below TargetCI for
+	// every reported row, or MaxSets is reached. <= 0 disables adaptive
+	// stopping, running exactly the configured set count. Deterministic
+	// experiments without stochastic sets (the battery curve) ignore it.
+	TargetCI float64
+	// MaxSets is the hard cap on the adaptively grown set count; 0 selects
+	// 8× the configured count. It never shrinks below the configured count.
+	MaxSets int
 }
 
 // runnerOptions translates the experiment knobs for the runner harness.
 func (o RunOptions) runnerOptions() runner.Options {
 	return runner.Options{Parallelism: o.Parallel, Progress: o.Progress}
+}
+
+// adaptiveMax resolves the hard set-count cap for an initial (configured)
+// count.
+func (o RunOptions) adaptiveMax(initial int) int {
+	if o.TargetCI <= 0 {
+		return initial
+	}
+	if o.MaxSets > initial {
+		return o.MaxSets
+	}
+	if o.MaxSets > 0 {
+		return initial
+	}
+	return 8 * initial
+}
+
+// runAdaptiveSets runs batches of set indices until convergence: runBatch
+// executes sets [lo, hi) (hi-lo is at most the configured initial count), and
+// conv inspects the caller's accumulators after each batch. With adaptive
+// stopping disabled exactly one batch of the initial count runs, so fixed-set
+// results are unchanged. Returns the total number of sets run.
+//
+// Convergence is all-rows-or-nothing by design: every row of a sweep keeps
+// averaging over the same absolute set indices, so rows stay directly
+// comparable (the paper's tables compare columns over identical workloads)
+// and an adaptive run that stops at N sets reports the same samples a fixed
+// N-set run averages. (Drivers that fold sets one by one match such a fixed
+// run bit-for-bit; the chunked scenario grid matches up to floating-point
+// reassociation of its Welford merge when a chunk straddles a batch
+// boundary — see ScenarioGridConfig.SetsPerJob.) The cost is that converged
+// rows re-run alongside unconverged ones; per-row batching would save that
+// work but make row sample counts diverge.
+func runAdaptiveSets(o RunOptions, initial int, runBatch func(lo, hi int) error, conv func() bool) (int, error) {
+	max := o.adaptiveMax(initial)
+	total := 0
+	for total < max {
+		hi := total + initial
+		if hi > max {
+			hi = max
+		}
+		if err := runBatch(total, hi); err != nil {
+			return total, err
+		}
+		total = hi
+		if o.TargetCI <= 0 || conv() {
+			break
+		}
+	}
+	return total, nil
+}
+
+// converged reports whether every accumulator's relative CI95 half-width is
+// at or below target (accumulators with fewer than two observations never
+// converge).
+func converged(target float64, accs ...*stats.Accumulator) bool {
+	for _, a := range accs {
+		if a.N() < 2 || a.RelCI95() > target {
+			return false
+		}
+	}
+	return true
 }

@@ -12,8 +12,13 @@
 // All experiments run on the internal/runner job-grid harness: the
 // (set × scheme × sweep-point) grid is enumerated as independent jobs, each
 // job owns a random stream derived from the experiment seed and its grid
-// coordinates, and per-job results are folded in job order — so results are
-// byte-identical at any RunOptions.Parallel value.
+// coordinates, and per-job results stream back in job order
+// (runner.RunStream) and fold directly into stats.Accumulators — so results
+// are byte-identical at any RunOptions.Parallel value and no driver holds
+// its full result grid in memory. With RunOptions.TargetCI set, the
+// stochastic sweeps adaptively run additional batches of task-graph sets
+// until the Student-t CI95 half-width of their key metric is tight enough
+// (relative to the mean), bounded by RunOptions.MaxSets.
 package experiments
 
 import (
@@ -103,9 +108,73 @@ type table1Sample struct {
 	incomplete        bool
 }
 
+// table1Job evaluates one (task count, graph index) cell.
+func table1Job(cfg Table1Config, gen tgff.Config, n, s int) (table1Sample, error) {
+	rng := runner.RNG(cfg.Seed, int64(n), int64(s))
+	g, err := tgff.GenerateWithNodes(gen, fmt.Sprintf("t1-%d-%d", n, s), n, rng)
+	if err != nil {
+		return table1Sample{}, err
+	}
+	// Deadline chosen so the DAG's worst-case load is cfg.Utilization.
+	deadline := g.TotalWCET() / (cfg.FMax * cfg.Utilization)
+	actuals := make([]float64, n)
+	for i := range actuals {
+		frac := cfg.ActualMin + rng.Float64()*(cfg.ActualMax-cfg.ActualMin)
+		actuals[i] = frac * g.Nodes[i].WCET
+	}
+	params := optimal.Params{Deadline: deadline, FMax: cfg.FMax, Actuals: actuals}
+
+	var sample table1Sample
+	opt, err := optimal.OptimalOrder(g, params, cfg.MaxExpansions)
+	if err != nil {
+		if !errors.Is(err, optimal.ErrSearchBudget) {
+			return table1Sample{}, err
+		}
+		sample.incomplete = true
+	}
+	randEv, err := optimal.RandomOrder(g, params, rng)
+	if err != nil {
+		return table1Sample{}, err
+	}
+	ltfEv, err := optimal.GreedyOrder(g, priority.NewLTF(), params, nil, nil)
+	if err != nil {
+		return table1Sample{}, err
+	}
+	pubsEv, err := optimal.GreedyOrder(g, priority.NewPUBS(), params, actuals, nil)
+	if err != nil {
+		return table1Sample{}, err
+	}
+	// Guard against an incomplete search being beaten by a heuristic:
+	// normalise by the best schedule seen.
+	best := opt.Best.Energy
+	for _, e := range []float64{randEv.Energy, ltfEv.Energy, pubsEv.Energy} {
+		if e < best {
+			best = e
+		}
+	}
+	if best <= 0 {
+		return sample, nil
+	}
+	sample.ok = true
+	sample.random = randEv.Energy / best
+	sample.ltf = ltfEv.Energy / best
+	sample.pubs = pubsEv.Energy / best
+	return sample, nil
+}
+
+// table1Acc accumulates one row of Table 1 from streamed samples.
+type table1Acc struct {
+	random, ltf, pubs stats.Accumulator
+	incomplete        int
+}
+
 // RunTable1 regenerates Table 1. The (task count × graph) grid runs as
 // independent jobs; each job derives its generator from (Seed, task count,
-// graph index), so rows are identical at any parallelism.
+// graph index), so rows are identical at any parallelism. Samples stream
+// back in job order and fold directly into per-row accumulators; with
+// RunOptions.TargetCI set, additional batches of DAGs are generated per task
+// count until the relative CI95 of every normalised-energy column (the key
+// metric) converges or MaxSets DAGs per count were used.
 func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	if len(cfg.TaskCounts) == 0 || cfg.GraphsPerCount <= 0 || cfg.FMax <= 0 ||
 		cfg.Utilization <= 0 || cfg.Utilization > 1 {
@@ -114,60 +183,33 @@ func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	gen := tgff.DefaultConfig()
 	gen.EdgeProbability = cfg.EdgeProbability
 
-	grid := runner.NewGrid(len(cfg.TaskCounts), cfg.GraphsPerCount)
-	samples, err := runner.Run(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (table1Sample, error) {
-		c := grid.Coords(idx)
-		n, s := cfg.TaskCounts[c[0]], c[1]
-		rng := runner.RNG(cfg.Seed, int64(n), int64(s))
-		g, err := tgff.GenerateWithNodes(gen, fmt.Sprintf("t1-%d-%d", n, s), n, rng)
-		if err != nil {
-			return table1Sample{}, err
-		}
-		// Deadline chosen so the DAG's worst-case load is cfg.Utilization.
-		deadline := g.TotalWCET() / (cfg.FMax * cfg.Utilization)
-		actuals := make([]float64, n)
-		for i := range actuals {
-			frac := cfg.ActualMin + rng.Float64()*(cfg.ActualMax-cfg.ActualMin)
-			actuals[i] = frac * g.Nodes[i].WCET
-		}
-		params := optimal.Params{Deadline: deadline, FMax: cfg.FMax, Actuals: actuals}
-
-		var sample table1Sample
-		opt, err := optimal.OptimalOrder(g, params, cfg.MaxExpansions)
-		if err != nil {
-			if !errors.Is(err, optimal.ErrSearchBudget) {
-				return table1Sample{}, err
+	accs := make([]table1Acc, len(cfg.TaskCounts))
+	_, err := runAdaptiveSets(cfg.RunOptions, cfg.GraphsPerCount, func(lo, hi int) error {
+		grid := runner.NewGrid(len(cfg.TaskCounts), hi-lo)
+		return runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (table1Sample, error) {
+			c := grid.Coords(idx)
+			// The graph index is absolute (lo+c[1]), so a sample's random
+			// stream does not depend on the batch layout.
+			return table1Job(cfg, gen, cfg.TaskCounts[c[0]], lo+c[1])
+		}, func(idx int, sample table1Sample) error {
+			a := &accs[grid.Coords(idx)[0]]
+			if sample.incomplete {
+				a.incomplete++
 			}
-			sample.incomplete = true
-		}
-		randEv, err := optimal.RandomOrder(g, params, rng)
-		if err != nil {
-			return table1Sample{}, err
-		}
-		ltfEv, err := optimal.GreedyOrder(g, priority.NewLTF(), params, nil, nil)
-		if err != nil {
-			return table1Sample{}, err
-		}
-		pubsEv, err := optimal.GreedyOrder(g, priority.NewPUBS(), params, actuals, nil)
-		if err != nil {
-			return table1Sample{}, err
-		}
-		// Guard against an incomplete search being beaten by a heuristic:
-		// normalise by the best schedule seen.
-		best := opt.Best.Energy
-		for _, e := range []float64{randEv.Energy, ltfEv.Energy, pubsEv.Energy} {
-			if e < best {
-				best = e
+			if sample.ok {
+				a.random.Add(sample.random)
+				a.ltf.Add(sample.ltf)
+				a.pubs.Add(sample.pubs)
+			}
+			return nil
+		})
+	}, func() bool {
+		for i := range accs {
+			if !converged(cfg.TargetCI, &accs[i].random, &accs[i].ltf, &accs[i].pubs) {
+				return false
 			}
 		}
-		if best <= 0 {
-			return sample, nil
-		}
-		sample.ok = true
-		sample.random = randEv.Energy / best
-		sample.ltf = ltfEv.Energy / best
-		sample.pubs = pubsEv.Energy / best
-		return sample, nil
+		return true
 	})
 	if err != nil {
 		return nil, err
@@ -175,27 +217,14 @@ func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 
 	rows := make([]Table1Row, 0, len(cfg.TaskCounts))
 	for ci, n := range cfg.TaskCounts {
-		var randAcc, ltfAcc, pubsAcc stats.Accumulator
-		incomplete := 0
-		for s := 0; s < cfg.GraphsPerCount; s++ {
-			sample := samples[grid.Index(ci, s)]
-			if sample.incomplete {
-				incomplete++
-			}
-			if !sample.ok {
-				continue
-			}
-			randAcc.Add(sample.random)
-			ltfAcc.Add(sample.ltf)
-			pubsAcc.Add(sample.pubs)
-		}
+		a := &accs[ci]
 		rows = append(rows, Table1Row{
 			Tasks:              n,
-			Random:             randAcc.Mean(),
-			LTF:                ltfAcc.Mean(),
-			PUBS:               pubsAcc.Mean(),
-			Samples:            randAcc.N(),
-			IncompleteSearches: incomplete,
+			Random:             a.random.Mean(),
+			LTF:                a.ltf.Mean(),
+			PUBS:               a.pubs.Mean(),
+			Samples:            a.random.N(),
+			IncompleteSearches: a.incomplete,
 		})
 	}
 	return rows, nil

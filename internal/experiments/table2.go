@@ -164,7 +164,9 @@ type table2Cell struct {
 
 // table2Job simulates every scheme on one task-graph set. The set's workload
 // and actual execution requirements derive from setSeed and are shared by all
-// schemes, so schemes always compare on identical task graphs.
+// schemes, so schemes always compare on identical task graphs. Each
+// simulation records only the load profile (the battery models need it); the
+// execution trace is never built.
 func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, setSeed int64) ([]table2Cell, error) {
 	rng := rand.New(rand.NewSource(setSeed))
 	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
@@ -184,6 +186,7 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 			Execution:       taskgraph.NewUniformExecution(0.2, 1.0, setSeed),
 			Hyperperiods:    cfg.Hyperperiods,
 			Seed:            setSeed,
+			Observer:        core.NewProfileRecorder(),
 		})
 		if err != nil {
 			return nil, err
@@ -208,8 +211,15 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 	return cells, nil
 }
 
+// table2Agg accumulates one scheme's column of Table 2 from streamed sets.
+type table2Agg struct{ charge, life, energy, current stats.Accumulator }
+
 // RunTable2 regenerates Table 2 for the configured battery model. Each
-// task-graph set is one job of the runner harness.
+// task-graph set is one job of the runner harness; per-set cells stream back
+// in set order and fold into per-scheme accumulators. With
+// RunOptions.TargetCI set, additional batches of sets run until the relative
+// CI95 of every scheme's battery lifetime (the key metric) converges or
+// MaxSets is reached.
 func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
@@ -230,22 +240,31 @@ func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	proc := defaultProcessor()
 	schemes := paperSchemes()
 
-	sets, err := runner.Run(ctx, cfg.Sets, cfg.runnerOptions(), func(_ context.Context, set int) ([]table2Cell, error) {
-		return table2Job(cfg, proc, schemes, runner.SeedFor(cfg.Seed, int64(set)))
+	aggs := make([]table2Agg, len(schemes))
+	_, err := runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
+		return runner.RunStream(ctx, hi-lo, cfg.runnerOptions(), func(_ context.Context, i int) ([]table2Cell, error) {
+			// The set index is absolute (lo+i), so the workload seed does
+			// not depend on the batch layout.
+			return table2Job(cfg, proc, schemes, runner.SeedFor(cfg.Seed, int64(lo+i)))
+		}, func(_ int, cells []table2Cell) error {
+			for si, cell := range cells {
+				aggs[si].charge.Add(cell.charge)
+				aggs[si].life.Add(cell.life)
+				aggs[si].energy.Add(cell.energy)
+				aggs[si].current.Add(cell.current)
+			}
+			return nil
+		})
+	}, func() bool {
+		for i := range aggs {
+			if !converged(cfg.TargetCI, &aggs[i].life) {
+				return false
+			}
+		}
+		return true
 	})
 	if err != nil {
 		return nil, err
-	}
-
-	type agg struct{ charge, life, energy, current stats.Accumulator }
-	aggs := make([]agg, len(schemes))
-	for _, cells := range sets {
-		for si, cell := range cells {
-			aggs[si].charge.Add(cell.charge)
-			aggs[si].life.Add(cell.life)
-			aggs[si].energy.Add(cell.energy)
-			aggs[si].current.Add(cell.current)
-		}
 	}
 
 	rows := make([]Table2Row, len(schemes))

