@@ -226,6 +226,14 @@ func NewSimRecorder() *SimRecorder { return core.NewRecorder() }
 type (
 	// BatteryModel is the interface implemented by all battery models.
 	BatteryModel = battery.Model
+	// BatterySegmentDrainer is the optional analytic fast-path interface:
+	// models implementing it (KiBaM, diffusion, Peukert) are simulated one
+	// whole constant-current segment at a time with closed-form exhaustion
+	// root-finding instead of MaxStep substeps.
+	BatterySegmentDrainer = battery.SegmentDrainer
+	// BatteryRepetitionOperator advances a model by whole profile
+	// repetitions through a precomputed affine transfer operator.
+	BatteryRepetitionOperator = battery.RepetitionOperator
 	// BatteryResult is the outcome of a battery lifetime simulation.
 	BatteryResult = battery.Result
 	// BatterySimulateOptions tune the battery simulation driver.
@@ -250,12 +258,16 @@ func NewStochasticBattery() BatteryModel { return stochastic.Default() }
 func NewPeukertBattery() BatteryModel { return peukert.Default() }
 
 // BatteryLifetime plays the profile periodically against the model until the
-// battery is exhausted and reports lifetime and delivered charge.
+// battery is exhausted and reports lifetime and delivered charge. Models
+// implementing BatterySegmentDrainer take the analytic fast path (whole
+// segments, per-repetition transfer operators, exhaustion root-finding); the
+// stochastic model is stepped at 1 s.
 func BatteryLifetime(m BatteryModel, p *Profile) (BatteryResult, error) {
 	return battery.SimulateUntilExhausted(m, p, battery.SimulateOptions{})
 }
 
-// BatteryLifetimeOpts is BatteryLifetime with explicit simulation options.
+// BatteryLifetimeOpts is BatteryLifetime with explicit simulation options; a
+// positive MaxStep forces the uniform-stepping path for every model.
 func BatteryLifetimeOpts(m BatteryModel, p *Profile, opts BatterySimulateOptions) (BatteryResult, error) {
 	return battery.SimulateUntilExhausted(m, p, opts)
 }

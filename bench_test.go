@@ -179,29 +179,30 @@ func benchProfile() *profile.Profile {
 }
 
 // BenchmarkKiBaMLifetime measures a full lifetime simulation on the KiBaM
-// cell.
+// cell with default options (the analytic fast path; see internal/battery's
+// BenchmarkLifetime* for the stepped-versus-analytic comparison).
 func BenchmarkKiBaMLifetime(b *testing.B) {
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		if _, err := battery.SimulateUntilExhausted(kibam.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600, MaxStep: 2}); err != nil {
+		if _, err := battery.SimulateUntilExhausted(kibam.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkDiffusionLifetime measures a full lifetime simulation on the
-// Rakhmatov–Vrudhula diffusion cell.
+// Rakhmatov–Vrudhula diffusion cell (analytic fast path).
 func BenchmarkDiffusionLifetime(b *testing.B) {
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {
-		if _, err := battery.SimulateUntilExhausted(diffusion.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600, MaxStep: 2}); err != nil {
+		if _, err := battery.SimulateUntilExhausted(diffusion.Default(), p, battery.SimulateOptions{MaxTime: 72 * 3600}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkStochasticLifetime measures a full lifetime simulation on the
-// stochastic charge-unit cell (expected-value mode).
+// stochastic charge-unit cell (expected-value mode; always stepped).
 func BenchmarkStochasticLifetime(b *testing.B) {
 	p := benchProfile()
 	for i := 0; i < b.N; i++ {

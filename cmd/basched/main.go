@@ -84,6 +84,7 @@ func run(args []string, stdout io.Writer) error {
 		hyperperiods = fs.Int("hyperperiods", 4, "number of hyperperiods to simulate")
 		seed         = fs.Int64("seed", 1, "random seed")
 		batteryName  = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert or none")
+		maxStep      = fs.Float64("maxstep", 0, "battery-simulation substep in seconds forcing the uniform-stepping path; 0 selects the analytic fast path for closed-form models (the stochastic model then steps at 1 s)")
 		showTrace    = fs.Bool("trace", false, "render the execution trace as an ASCII Gantt chart")
 		profileOut   = fs.String("profile-out", "", "write the load-current profile as CSV to this file")
 		noTrace      = fs.Bool("notrace", false, "skip execution-trace recording (profile and statistics only)")
@@ -220,7 +221,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		life, err := battsched.BatteryLifetimeOpts(factory(), res.Profile, battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 2})
+		life, err := battsched.BatteryLifetimeOpts(factory(), res.Profile, battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: *maxStep})
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		batteryName = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert")
 		curve       = fs.Bool("curve", false, "sweep constant loads and print the delivered-capacity curve for all models")
 		maxHours    = fs.Float64("max-hours", 72, "simulation horizon in hours")
+		maxStep     = fs.Float64("maxstep", 0, "substep in seconds forcing the uniform-stepping path; 0 selects the analytic fast path for closed-form models (the stochastic model then steps at 1 s)")
 		parallel    = fs.Int("parallel", 0, "worker count for the -curve sweep (<= 0: all cores, 1: sequential)")
 		timeout     = fs.Duration("timeout", 0, "abort the -curve sweep after this duration (0: no limit; single -profile/-current runs are bounded by -max-hours instead)")
 	)
@@ -57,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	if *curve {
 		cfg := experiments.DefaultCurveConfig()
 		cfg.MaxHours = *maxHours
+		cfg.MaxStep = *maxStep
 		cfg.Parallel = *parallel
 		series, err := experiments.RunLoadCapacityCurve(ctx, cfg)
 		if err != nil {
@@ -89,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	m := factory()
-	res, err := battsched.BatteryLifetimeOpts(m, p, battsched.BatterySimulateOptions{MaxTime: *maxHours * 3600, MaxStep: 2})
+	res, err := battsched.BatteryLifetimeOpts(m, p, battsched.BatterySimulateOptions{MaxTime: *maxHours * 3600, MaxStep: *maxStep})
 	if err != nil {
 		return err
 	}

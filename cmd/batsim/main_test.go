@@ -19,6 +19,21 @@ func TestRunConstantLoad(t *testing.T) {
 	}
 }
 
+func TestRunMaxStepForcesSteppedPath(t *testing.T) {
+	var analytic, stepped bytes.Buffer
+	if err := run([]string{"-current", "1.5", "-battery", "kibam"}, &analytic); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-current", "1.5", "-battery", "kibam", "-maxstep", "2"}, &stepped); err != nil {
+		t.Fatal(err)
+	}
+	// Both paths simulate the same physics: the one-decimal lifetime report
+	// must agree.
+	if analytic.String() != stepped.String() {
+		t.Fatalf("analytic and stepped reports differ:\n%s\nvs\n%s", analytic.String(), stepped.String())
+	}
+}
+
 func TestRunProfileCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "p.csv")
 	csv := "start_s,duration_s,current_a\n0,30,1.2\n30,30,0.2\n"

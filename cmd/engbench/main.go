@@ -1,5 +1,7 @@
-// Command engbench measures the scheduling engine's hot path and writes the
-// result as JSON (BENCH_engine.json in CI): ns/op, allocs/op and bytes/op of
+// Command engbench measures the simulator's two hot paths and writes the
+// results as JSON artifacts for CI.
+//
+// The engine report (BENCH_engine.json): ns/op, allocs/op and bytes/op of
 // one BAS-2 hyperperiod under each observer sink — full profile+trace
 // recording (the default, what the interactive CLIs use), profile-only, and
 // the no-op sink experiment sweeps use. alloc_ratio and speedup_ns compare
@@ -12,10 +14,18 @@
 // comparison is pinned in CHANGES.md, not re-measurable here since the old
 // engine is gone.)
 //
+// The battery report (BENCH_battery.json, -battery-o): ns/op of a full 72 h
+// lifetime simulation per battery model on a representative periodic load,
+// comparing the MaxStep-2 uniform-stepping path against the analytic path
+// (whole segments + per-repetition transfer operators + exhaustion
+// root-finding) where the model supports it. CI tracks the speedup to catch
+// fast-path regressions.
+//
 // Usage:
 //
-//	engbench            # JSON on stdout
-//	engbench -o out.json
+//	engbench                              # engine JSON on stdout
+//	engbench -o BENCH_engine.json
+//	engbench -engine=false -battery-o BENCH_battery.json
 package main
 
 import (
@@ -26,9 +36,15 @@ import (
 	"os"
 	"testing"
 
+	"battsched/internal/battery"
+	"battsched/internal/battery/diffusion"
+	"battsched/internal/battery/kibam"
+	"battsched/internal/battery/peukert"
+	"battsched/internal/battery/stochastic"
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
+	"battsched/internal/profile"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
 )
@@ -59,10 +75,119 @@ type report struct {
 	SpeedupNs float64 `json:"speedup_ns"`
 }
 
+// batteryMeasurement is one battery model's stepped-versus-analytic lifetime
+// simulation comparison.
+type batteryMeasurement struct {
+	Model string `json:"model"`
+	// SteppedNsPerOp is the MaxStep-2 uniform-stepping path (the
+	// pre-analytic experiment configuration).
+	SteppedNsPerOp float64 `json:"stepped_ns_per_op"`
+	// AnalyticNsPerOp is the analytic fast path; 0 for models without one
+	// (the stochastic model keeps fine stepping).
+	AnalyticNsPerOp float64 `json:"analytic_ns_per_op,omitempty"`
+	// Speedup is SteppedNsPerOp / AnalyticNsPerOp.
+	Speedup float64 `json:"speedup,omitempty"`
+	// SteppedLifetimeMin and AnalyticLifetimeMin are the simulated lifetimes
+	// of the two paths — the sanity anchor that both benchmark columns
+	// simulate the same physics.
+	SteppedLifetimeMin  float64 `json:"stepped_lifetime_min"`
+	AnalyticLifetimeMin float64 `json:"analytic_lifetime_min,omitempty"`
+}
+
+// batteryReport is the emitted BENCH_battery.json document.
+type batteryReport struct {
+	Benchmark string               `json:"benchmark"`
+	Profile   string               `json:"profile"`
+	Models    []batteryMeasurement `json:"models"`
+}
+
+// benchBattery measures full 72 h lifetime simulations of every battery
+// model on a representative periodic load, stepped versus analytic.
+func benchBattery() batteryReport {
+	p := profile.New()
+	p.Append(33.4, 1.2)
+	p.Append(21.7, 0.4)
+	p.Append(5.1, 0.01)
+
+	measure := func(model func() battery.Model, opts battery.SimulateOptions) (float64, float64) {
+		opts.MaxTime = 72 * 3600
+		var life float64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := battery.SimulateUntilExhausted(model(), p, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				life = res.LifetimeMinutes()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N), life
+	}
+
+	models := []struct {
+		name     string
+		factory  func() battery.Model
+		analytic bool
+	}{
+		{"kibam", func() battery.Model { return kibam.Default() }, true},
+		{"diffusion", func() battery.Model { return diffusion.Default() }, true},
+		{"peukert", func() battery.Model { return peukert.Default() }, true},
+		{"stochastic", func() battery.Model { return stochastic.Default() }, false},
+	}
+	rep := batteryReport{
+		Benchmark: "BatteryLifetime/72h-horizon",
+		Profile:   "periodic 60.2 s load: 33.4 s @ 1.2 A, 21.7 s @ 0.4 A, 5.1 s @ 0.01 A",
+	}
+	for _, m := range models {
+		var meas batteryMeasurement
+		meas.Model = m.name
+		meas.SteppedNsPerOp, meas.SteppedLifetimeMin = measure(m.factory, battery.SimulateOptions{MaxStep: 2})
+		if m.analytic {
+			meas.AnalyticNsPerOp, meas.AnalyticLifetimeMin = measure(m.factory, battery.SimulateOptions{})
+			if meas.AnalyticNsPerOp > 0 {
+				meas.Speedup = meas.SteppedNsPerOp / meas.AnalyticNsPerOp
+			}
+		}
+		rep.Models = append(rep.Models, meas)
+	}
+	return rep
+}
+
+// writeJSON marshals doc and writes it to path ("" selects stdout).
+func writeJSON(doc any, path string) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	out := flag.String("o", "", "write the engine JSON report to this file (default stdout)")
+	engine := flag.Bool("engine", true, "run the engine benchmark")
+	batteryOut := flag.String("battery-o", "", "also run the battery lifetime benchmark and write its JSON report to this file (\"-\" selects stdout)")
 	graphs := flag.Int("graphs", 5, "task graphs in the benchmark workload")
 	flag.Parse()
+
+	if *batteryOut != "" {
+		path := *batteryOut
+		if path == "-" {
+			path = ""
+		}
+		writeJSON(benchBattery(), path)
+	}
+	if !*engine {
+		return
+	}
 
 	rng := rand.New(rand.NewSource(99))
 	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), *graphs, 0.7, 1e9, rng)
@@ -116,18 +241,5 @@ func main() {
 		rep.SpeedupNs = rep.Recorded.NsPerOp / rep.Discard.NsPerOp
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "engbench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "engbench:", err)
-		os.Exit(1)
-	}
+	writeJSON(rep, *out)
 }

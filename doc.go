@@ -37,6 +37,25 @@
 // — it only removes the recording cost from the hot path. cmd/basched
 // exposes the choice as -notrace / -noprofile.
 //
+// # Analytic battery fast path
+//
+// BatteryLifetime and BatteryLifetimeOpts dispatch on the model.
+// Closed-form models (KiBaM, diffusion, Peukert) implement
+// BatterySegmentDrainer and are simulated analytically: each constant-current
+// profile segment is applied exactly in one closed-form update, whole profile
+// repetitions are applied through a precomputed affine transfer operator in
+// O(state) time while a conservative check proves the battery survives them,
+// and the exhaustion instant is located by Newton iteration (with a bisection
+// safeguard) on the closed form. The stochastic model — whose recovery
+// probability depends on the evolving depth of discharge — has no exact
+// segment update and is stepped at 1 s. Setting
+// BatterySimulateOptions.MaxStep to a positive value forces the
+// uniform-stepping path for every model (the reference the accuracy tests
+// compare against); cmd/batsim and cmd/basched expose the choice as -maxstep.
+// On representative periodic loads the analytic path is 35–350x faster than
+// 2 s stepping (see cmd/engbench -battery-o and the BenchmarkLifetime*
+// benchmarks in internal/battery).
+//
 // # Parallel experiment runner
 //
 // Every stochastic sweep runs on a job-grid harness (internal/runner): the

@@ -52,7 +52,7 @@ func main() {
 				log.Fatalf("%s: %d deadline misses", s.Name, res.DeadlineMisses)
 			}
 			life, err := battsched.BatteryLifetimeOpts(battsched.NewStochasticBattery(), res.Profile,
-				battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 2})
+				battsched.BatterySimulateOptions{MaxTime: 72 * 3600})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -59,7 +59,7 @@ func main() {
 		battsched.NewDiffusionBattery(),
 	} {
 		life, err := battsched.BatteryLifetimeOpts(model, res.Profile,
-			battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 2})
+			battsched.BatterySimulateOptions{MaxTime: 72 * 3600})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -52,7 +52,7 @@ func main() {
 			return 0, err
 		}
 		life, err := battsched.BatteryLifetimeOpts(battsched.NewKiBaM(), res.Profile,
-			battsched.BatterySimulateOptions{MaxTime: 72 * 3600, MaxStep: 2})
+			battsched.BatterySimulateOptions{MaxTime: 72 * 3600})
 		if err != nil {
 			return 0, err
 		}

@@ -33,6 +33,48 @@ type Model interface {
 	DeliveredCharge() float64
 }
 
+// SegmentDrainer is the optional analytic fast-path interface: models whose
+// state admits an exact closed-form update under a constant current implement
+// it, and SimulateUntilExhausted then advances them one whole profile segment
+// at a time instead of subdividing segments into MaxStep substeps.
+type SegmentDrainer interface {
+	Model
+	// DrainSegment advances the state exactly over a whole constant-current
+	// segment of length dt, with the same contract as Drain: it returns the
+	// time sustained (== dt when the battery survives) and liveness.
+	DrainSegment(current, dt float64) (sustained float64, alive bool)
+	// ExhaustionTime returns the time until exhaustion if the given constant
+	// current were applied from the current state, +Inf when the model never
+	// exhausts under it (e.g. a zero load) and 0 when already dead. It does
+	// not modify the state.
+	ExhaustionTime(current float64) float64
+}
+
+// RepetitionOperator advances a model by whole repetitions of a fixed
+// profile. One repetition of a piecewise-constant profile is an affine map on
+// the state of the closed-form models (a 2-vector for KiBaM, a (1+Terms)-
+// vector for diffusion, two scalar budgets for Peukert), so the operator is
+// precomputed once per simulation and applied in O(state) per repetition.
+type RepetitionOperator interface {
+	// CanAdvance conservatively reports whether the model survives one full
+	// profile repetition from its current state. It may return false for a
+	// survivable repetition (the driver then falls back to segment stepping)
+	// but must never return true for a fatal one.
+	CanAdvance() bool
+	// Advance applies one full repetition to the model state. It must only
+	// be called after CanAdvance returned true.
+	Advance()
+}
+
+// RepetitionTransferer is implemented by SegmentDrainers that can precompute
+// the per-repetition transfer operator of a profile.
+type RepetitionTransferer interface {
+	SegmentDrainer
+	// RepetitionOperator builds the transfer operator of one full repetition
+	// of p for this model instance.
+	RepetitionOperator(p *profile.Profile) RepetitionOperator
+}
+
 // Coulombs per milliampere-hour.
 const CoulombsPerMAh = 3.6
 
@@ -72,6 +114,7 @@ var (
 	ErrNilModel   = errors.New("battery: nil model")
 	ErrBadProfile = errors.New("battery: invalid profile")
 	ErrBadHorizon = errors.New("battery: horizon must be positive")
+	ErrNoProgress = errors.New("battery: model under-sustained a step it survived")
 )
 
 // SimulateOptions tunes SimulateUntilExhausted.
@@ -79,9 +122,14 @@ type SimulateOptions struct {
 	// MaxTime is the simulation horizon in seconds; the run stops there even
 	// if the battery is still alive. Defaults to 48 hours.
 	MaxTime float64
-	// MaxStep subdivides long constant-current segments so that models with
-	// internal time discretisation (the stochastic model) and the exhaustion
-	// detection stay accurate. Defaults to 1 second.
+	// MaxStep selects the simulation path. Zero (the default) dispatches on
+	// the model: models implementing SegmentDrainer take the analytic path
+	// (whole constant-current segments, per-repetition transfer operators,
+	// root-finding for the exhaustion instant); other models (the stochastic
+	// model, with its internal time discretisation) take the stepped path
+	// with a 1 s substep. A positive value forces the stepped path with that
+	// substep for every model — the reference the accuracy tests compare the
+	// analytic path against.
 	MaxStep float64
 }
 
@@ -89,14 +137,19 @@ func (o *SimulateOptions) setDefaults() {
 	if o.MaxTime <= 0 {
 		o.MaxTime = 48 * 3600
 	}
-	if o.MaxStep <= 0 {
-		o.MaxStep = 1.0
-	}
 }
 
 // SimulateUntilExhausted plays the profile periodically (repeating it
 // back-to-back) against the model until the battery is exhausted or the
 // horizon is reached. The model is Reset before the run.
+//
+// Models implementing SegmentDrainer are simulated analytically unless
+// MaxStep forces the stepped path: each constant-current segment is applied
+// exactly in one closed-form update, and when the model also implements
+// RepetitionTransferer whole profile repetitions are applied through the
+// precomputed affine transfer operator in O(state) time while the operator's
+// conservative check proves the battery survives them, falling back to
+// segment stepping only around the horizon and the exhaustion repetition.
 func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (Result, error) {
 	if m == nil {
 		return Result{}, ErrNilModel
@@ -105,8 +158,79 @@ func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (
 		return Result{}, fmt.Errorf("%w: %v", ErrBadProfile, err)
 	}
 	opts.setDefaults()
-	m.Reset()
+	if opts.MaxStep <= 0 {
+		if sd, ok := m.(SegmentDrainer); ok {
+			return simulateAnalytic(sd, p, opts)
+		}
+		opts.MaxStep = 1.0
+	}
+	return simulateStepped(m, p, opts)
+}
 
+// simulateAnalytic drives a SegmentDrainer: whole repetitions through the
+// transfer operator while its conservative survival check holds, whole
+// segments otherwise, with the exhaustion instant located by the model's
+// closed-form root-finding inside the final segment.
+func simulateAnalytic(m SegmentDrainer, p *profile.Profile, opts SimulateOptions) (Result, error) {
+	m.Reset()
+	var res Result
+	t := 0.0
+	period := p.Duration()
+	var op RepetitionOperator
+	if rt, ok := m.(RepetitionTransferer); ok {
+		op = rt.RepetitionOperator(p)
+	}
+	for t < opts.MaxTime {
+		if op != nil && t+period <= opts.MaxTime && op.CanAdvance() {
+			op.Advance()
+			t += period
+			res.Repetitions++
+			continue
+		}
+		completed := true
+		for _, seg := range p.Segments {
+			dt := seg.Duration
+			if t+dt > opts.MaxTime {
+				dt = opts.MaxTime - t
+				completed = false
+				if dt <= 0 {
+					break
+				}
+			}
+			sustained, alive := m.DrainSegment(seg.Current, dt)
+			t += sustained
+			if !alive {
+				res.Lifetime = t
+				res.DeliveredCharge = m.DeliveredCharge()
+				res.Exhausted = true
+				return res, nil
+			}
+			// The analytic contract is exact whole-segment advance: a
+			// surviving DrainSegment must sustain the full dt, or profile
+			// time and battery time drift apart (and a zero sustain would
+			// loop forever).
+			if sustained < dt {
+				return res, fmt.Errorf("%w: %s sustained %v of a %v s segment", ErrNoProgress, m.Name(), sustained, dt)
+			}
+			if !completed {
+				break
+			}
+		}
+		if !completed {
+			break
+		}
+		res.Repetitions++
+	}
+	res.Lifetime = t
+	res.DeliveredCharge = m.DeliveredCharge()
+	return res, nil
+}
+
+// simulateStepped drives any model by subdividing segments into MaxStep
+// substeps (the pre-analytic behaviour, and the only path for models with an
+// internal time discretisation).
+func simulateStepped(m Model, p *profile.Profile, opts SimulateOptions) (Result, error) {
+	m.Reset()
 	var res Result
 	t := 0.0
 	for t < opts.MaxTime {
@@ -124,12 +248,19 @@ func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (
 				}
 				sustained, alive := m.Drain(seg.Current, dt)
 				t += sustained
-				remaining -= dt
+				// Deduct the sustained time, not the requested dt: a model
+				// that sustains only part of a step must see the remainder of
+				// the segment again, or profile time and battery time drift
+				// apart.
+				remaining -= sustained
 				if !alive {
 					res.Lifetime = t
 					res.DeliveredCharge = m.DeliveredCharge()
 					res.Exhausted = true
 					return res, nil
+				}
+				if sustained <= 0 {
+					return res, fmt.Errorf("%w: %s sustained nothing at %v A for %v s", ErrNoProgress, m.Name(), seg.Current, dt)
 				}
 			}
 			if !completed {
@@ -147,14 +278,64 @@ func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (
 	return res, nil
 }
 
+// SolveExhaustion locates the exhaustion instant of a closed-form model: the
+// time t > 0 at which the survival margin f crosses zero, given f(0) > 0.
+// f returns the margin and its time derivative; guess seeds the bracket. The
+// bracket [lo, hi] is grown by doubling until f(hi) <= 0 and then tightened
+// by Newton steps that fall back to bisection whenever a step leaves the
+// bracket, so convergence is quadratic near the root but never worse than
+// bisection. Returns +Inf when no crossing is found (the model never
+// exhausts under this load).
+func SolveExhaustion(f func(t float64) (margin, deriv float64), guess float64) float64 {
+	if !(guess > 0) || math.IsInf(guess, 0) {
+		guess = 1
+	}
+	lo, hi := 0.0, guess
+	v, _ := f(hi)
+	for doubles := 0; v > 0; doubles++ {
+		if doubles > 200 || math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		lo = hi
+		hi *= 2
+		v, _ = f(hi)
+	}
+	t := 0.5 * (lo + hi)
+	for iter := 0; iter < 100 && hi-lo > 1e-14*hi; iter++ {
+		v, d := f(t)
+		if v == 0 {
+			return t
+		}
+		if v > 0 {
+			lo = t
+		} else {
+			hi = t
+		}
+		next := 0.5 * (lo + hi)
+		if d != 0 {
+			if n := t - v/d; n > lo && n < hi {
+				next = n
+			}
+		}
+		t = next
+	}
+	return 0.5 * (lo + hi)
+}
+
 // ConstantLoadLifetime returns the lifetime and delivered charge of the model
 // under a constant current (amperes), up to maxTime seconds.
 func ConstantLoadLifetime(m Model, current, maxTime float64) (Result, error) {
-	if maxTime <= 0 {
+	return ConstantLoadLifetimeOpts(m, current, SimulateOptions{MaxTime: maxTime})
+}
+
+// ConstantLoadLifetimeOpts is ConstantLoadLifetime with explicit simulation
+// options (opts.MaxTime is the horizon and must be positive).
+func ConstantLoadLifetimeOpts(m Model, current float64, opts SimulateOptions) (Result, error) {
+	if opts.MaxTime <= 0 {
 		return Result{}, ErrBadHorizon
 	}
-	p := profile.Constant(current, maxTime)
-	return SimulateUntilExhausted(m, p, SimulateOptions{MaxTime: maxTime})
+	p := profile.Constant(current, opts.MaxTime)
+	return SimulateUntilExhausted(m, p, opts)
 }
 
 // CurvePoint is one point of a load versus delivered-capacity curve.

@@ -1,0 +1,75 @@
+package battery_test
+
+import (
+	"testing"
+
+	"battsched/internal/battery"
+	"battsched/internal/battery/diffusion"
+	"battsched/internal/battery/kibam"
+	"battsched/internal/battery/peukert"
+	"battsched/internal/battery/stochastic"
+	"battsched/internal/profile"
+)
+
+// benchLifetimeProfile is a representative scheduler-shaped load: a burst, a
+// medium plateau and a near-idle tail with durations that are not multiples
+// of the 2 s benchmark substep, as in real emitted profiles.
+func benchLifetimeProfile() *profile.Profile {
+	p := profile.New()
+	p.Append(33.4, 1.2)
+	p.Append(21.7, 0.4)
+	p.Append(5.1, 0.01)
+	return p
+}
+
+// benchLifetime runs full lifetime simulations of fresh model instances over
+// a 72 h horizon under the given options.
+func benchLifetime(b *testing.B, model func() battery.Model, opts battery.SimulateOptions) {
+	b.Helper()
+	p := benchLifetimeProfile()
+	opts.MaxTime = 72 * 3600
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := battery.SimulateUntilExhausted(model(), p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Exhausted {
+			b.Fatal("battery survived the horizon")
+		}
+	}
+}
+
+// benchLifetimePaths benchmarks the stepped (MaxStep 2, the pre-analytic
+// experiment configuration) and analytic paths on the same profile.
+func benchLifetimePaths(b *testing.B, model func() battery.Model) {
+	b.Helper()
+	b.Run("stepped", func(b *testing.B) {
+		benchLifetime(b, model, battery.SimulateOptions{MaxStep: 2})
+	})
+	b.Run("analytic", func(b *testing.B) {
+		benchLifetime(b, model, battery.SimulateOptions{})
+	})
+}
+
+func BenchmarkLifetimeKiBaM(b *testing.B) {
+	benchLifetimePaths(b, func() battery.Model { return kibam.Default() })
+}
+
+func BenchmarkLifetimeDiffusion(b *testing.B) {
+	benchLifetimePaths(b, func() battery.Model { return diffusion.Default() })
+}
+
+func BenchmarkLifetimePeukert(b *testing.B) {
+	benchLifetimePaths(b, func() battery.Model { return peukert.Default() })
+}
+
+// BenchmarkLifetimeStochastic has no analytic variant: the stochastic model
+// keeps fine stepping (its recovery probability depends on the evolving depth
+// of discharge, so no closed-form segment update exists).
+func BenchmarkLifetimeStochastic(b *testing.B) {
+	b.Run("stepped", func(b *testing.B) {
+		benchLifetime(b, func() battery.Model { return stochastic.Default() }, battery.SimulateOptions{MaxStep: 2})
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 // DefaultTerms is the number of series terms kept by Default. Ten terms keep
@@ -52,6 +53,13 @@ type Battery struct {
 	delivered   float64   // integral of i dt (coulombs)
 	unavailable []float64 // per-term convolution state A_m(t)
 	alive       bool
+
+	// Decay-factor buffer keyed by the step length it was computed for:
+	// uniform stepping and the analytic per-segment recurrence both re-apply
+	// the same dt repeatedly, so the per-term exp(-beta^2 m^2 dt) factors are
+	// recomputed only when dt changes.
+	decayDt  float64
+	decayBuf []float64
 }
 
 // Default returns a diffusion battery calibrated like the paper's 2000 mAh
@@ -125,14 +133,32 @@ func (b *Battery) UnavailableCharge() float64 {
 	return s
 }
 
+// decays returns the per-term decay factors exp(-beta^2 m^2 dt), recomputing
+// the shared buffer only when dt differs from the previous call.
+func (b *Battery) decays(dt float64) []float64 {
+	if b.decayBuf == nil {
+		b.decayBuf = make([]float64, len(b.unavailable))
+		b.decayDt = math.NaN()
+	}
+	if dt != b.decayDt {
+		beta2 := b.params.BetaSquared
+		for m := range b.decayBuf {
+			k := beta2 * float64(m+1) * float64(m+1)
+			b.decayBuf[m] = math.Exp(-k * dt)
+		}
+		b.decayDt = dt
+	}
+	return b.decayBuf
+}
+
 // stepState advances the per-term state for a constant current i over dt and
 // accumulates delivered charge. It does not check for exhaustion.
 func (b *Battery) stepState(i, dt float64) {
 	beta2 := b.params.BetaSquared
+	decay := b.decays(dt)
 	for m := range b.unavailable {
 		k := beta2 * float64(m+1) * float64(m+1)
-		decay := math.Exp(-k * dt)
-		b.unavailable[m] = b.unavailable[m]*decay + i*(1-decay)/k
+		b.unavailable[m] = b.unavailable[m]*decay[m] + i*(1-decay[m])/k
 	}
 	b.delivered += i * dt
 }
@@ -141,17 +167,25 @@ func (b *Battery) stepState(i, dt float64) {
 // without modifying state.
 func (b *Battery) sigmaAfter(i, dt float64) float64 {
 	beta2 := b.params.BetaSquared
+	decay := b.decays(dt)
 	s := b.delivered + i*dt
 	for m := range b.unavailable {
 		k := beta2 * float64(m+1) * float64(m+1)
-		decay := math.Exp(-k * dt)
-		s += 2 * (b.unavailable[m]*decay + i*(1-decay)/k)
+		s += 2 * (b.unavailable[m]*decay[m] + i*(1-decay[m])/k)
 	}
 	return s
 }
 
-// Drain implements battery.Model.
+// Drain implements battery.Model. The per-term exponential recurrence is
+// exact for any dt, so Drain and DrainSegment coincide.
 func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
+	return b.DrainSegment(current, dt)
+}
+
+// DrainSegment implements battery.SegmentDrainer: the per-term recurrence is
+// applied over the whole segment, and when sigma would reach alpha within it
+// the exhaustion instant is located by ExhaustionTime.
+func (b *Battery) DrainSegment(current, dt float64) (sustained float64, alive bool) {
 	if !b.alive {
 		return 0, false
 	}
@@ -165,21 +199,111 @@ func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
 		b.stepState(current, dt)
 		return dt, true
 	}
-	// Exhaustion occurs within [0, dt]: sigma is monotone in t for a
-	// non-negative constant load, so bisect.
-	lo, hi := 0.0, dt
-	for iter := 0; iter < 80 && hi-lo > 1e-9*dt; iter++ {
-		mid := 0.5 * (lo + hi)
-		if b.sigmaAfter(current, mid) < b.params.AlphaCoulombs {
-			lo = mid
-		} else {
-			hi = mid
-		}
+	tDeath := b.ExhaustionTime(current)
+	if tDeath > dt {
+		tDeath = dt
 	}
-	tDeath := 0.5 * (lo + hi)
 	b.stepState(current, tDeath)
 	b.alive = false
 	return tDeath, false
+}
+
+// ExhaustionTime implements battery.SegmentDrainer: the root of
+// sigma(t) = alpha under a constant current, found by Newton iteration on the
+// closed form with a bisection safeguard. During rest sigma only decays, so
+// the time is +Inf for a zero load.
+func (b *Battery) ExhaustionTime(current float64) float64 {
+	if !b.alive {
+		return 0
+	}
+	if current < 0 {
+		current = 0
+	}
+	alpha := b.params.AlphaCoulombs
+	margin := alpha - b.Sigma()
+	if margin <= 0 {
+		return 0
+	}
+	if current == 0 {
+		return math.Inf(1)
+	}
+	beta2 := b.params.BetaSquared
+	guess := margin / (current * float64(1+2*len(b.unavailable)))
+	return battery.SolveExhaustion(func(t float64) (float64, float64) {
+		v := alpha - b.delivered - current*t
+		d := -current
+		for m := range b.unavailable {
+			k := beta2 * float64(m+1) * float64(m+1)
+			e := math.Exp(-k * t)
+			v -= 2 * (b.unavailable[m]*e + current*(1-e)/k)
+			d -= 2 * (current - k*b.unavailable[m]) * e
+		}
+		return v, d
+	}, guess)
+}
+
+// RepetitionOperator implements battery.RepetitionTransferer: the per-term
+// recurrence is diagonal, so one full repetition of p reduces to a per-term
+// decay factor and affine offset plus the profile charge, applied in O(Terms)
+// per repetition.
+func (b *Battery) RepetitionOperator(p *profile.Profile) battery.RepetitionOperator {
+	n := len(b.unavailable)
+	op := &repetitionOperator{b: b, decay: make([]float64, n), offset: make([]float64, n)}
+	for m := range op.decay {
+		op.decay[m] = 1
+	}
+	beta2 := b.params.BetaSquared
+	for _, seg := range p.Segments {
+		var osum float64
+		for m := range op.decay {
+			k := beta2 * float64(m+1) * float64(m+1)
+			e := math.Exp(-k * seg.Duration)
+			op.decay[m] *= e
+			op.offset[m] = op.offset[m]*e + seg.Current*(1-e)/k
+			osum += op.offset[m]
+		}
+		op.charge += seg.Current * seg.Duration
+		// The apparent charge at this segment boundary, entered with state
+		// (a, delivered), is delivered + chargeSoFar + sum 2(E_m a_m + o_m)
+		// with E_m <= 1 — so chargeSoFar + 2*sum(o_m) bounds the boundary's
+		// sigma increase over sigma at the repetition start.
+		if h := op.charge + 2*osum; h > op.headroom {
+			op.headroom = h
+		}
+	}
+	return op
+}
+
+// repetitionOperator is the diagonal affine transfer operator of one profile
+// repetition on a diffusion battery.
+type repetitionOperator struct {
+	b      *Battery
+	decay  []float64 // per-term decay over one full repetition
+	offset []float64 // per-term affine offset of one full repetition
+	charge float64   // delivered charge per repetition
+	// headroom conservatively bounds the within-repetition increase of sigma
+	// over its value at the repetition start (max over segment boundaries).
+	headroom float64
+}
+
+// CanAdvance implements battery.RepetitionOperator: sigma at every segment
+// boundary of the repetition is bounded by the current sigma plus the
+// precomputed headroom, so staying below alpha proves survival.
+func (o *repetitionOperator) CanAdvance() bool {
+	b := o.b
+	if !b.alive {
+		return false
+	}
+	return b.Sigma()+o.headroom < b.params.AlphaCoulombs
+}
+
+// Advance implements battery.RepetitionOperator.
+func (o *repetitionOperator) Advance() {
+	b := o.b
+	for m := range b.unavailable {
+		b.unavailable[m] = b.unavailable[m]*o.decay[m] + o.offset[m]
+	}
+	b.delivered += o.charge
 }
 
 // String implements fmt.Stringer.
@@ -188,5 +312,9 @@ func (b *Battery) String() string {
 		battery.MAh(b.params.AlphaCoulombs), b.params.BetaSquared, battery.MAh(b.Sigma()), battery.MAh(b.delivered))
 }
 
-// compile-time interface check
-var _ battery.Model = (*Battery)(nil)
+// compile-time interface checks
+var (
+	_ battery.Model                = (*Battery)(nil)
+	_ battery.SegmentDrainer       = (*Battery)(nil)
+	_ battery.RepetitionTransferer = (*Battery)(nil)
+)

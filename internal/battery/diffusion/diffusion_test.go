@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 func TestNewRejectsBadParams(t *testing.T) {
@@ -196,5 +197,59 @@ func TestRestNeverHurtsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRepetitionOperatorMatchesSegmentStepping checks the diagonal transfer
+// operator reproduces segment-by-segment recurrence stepping over many
+// profile repetitions.
+func TestRepetitionOperatorMatchesSegmentStepping(t *testing.T) {
+	p := profile.New()
+	p.Append(30, 1.5)
+	p.Append(20, 0.1)
+	p.Append(10, 0.6)
+	viaOperator := Default()
+	viaSegments := Default()
+	op := viaOperator.RepetitionOperator(p)
+	reps := 0
+	for reps < 40 && op.CanAdvance() {
+		op.Advance()
+		reps++
+	}
+	if reps < 10 {
+		t.Fatalf("operator advanced only %d repetitions before its conservative check tripped", reps)
+	}
+	for r := 0; r < reps; r++ {
+		for _, s := range p.Segments {
+			if _, alive := viaSegments.DrainSegment(s.Current, s.Duration); !alive {
+				t.Fatalf("segment path died at repetition %d", r)
+			}
+		}
+	}
+	tol := 1e-9 * viaSegments.MaxCapacity()
+	if math.Abs(viaOperator.Sigma()-viaSegments.Sigma()) > tol {
+		t.Fatalf("sigma: operator %v vs segments %v", viaOperator.Sigma(), viaSegments.Sigma())
+	}
+	if math.Abs(viaOperator.DeliveredCharge()-viaSegments.DeliveredCharge()) > tol {
+		t.Fatalf("delivered: operator %v vs segments %v", viaOperator.DeliveredCharge(), viaSegments.DeliveredCharge())
+	}
+}
+
+// TestDecayCacheSemigroup checks the decay-factor buffer keyed by dt does not
+// change the recurrence: splitting a constant-current interval into repeated
+// equal steps (cache hits) plus a remainder (cache miss) matches one whole
+// step.
+func TestDecayCacheSemigroup(t *testing.T) {
+	split := Default()
+	whole := Default()
+	split.Drain(1.2, 2)
+	split.Drain(1.2, 2)
+	split.Drain(1.2, 3)
+	whole.Drain(1.2, 7)
+	if math.Abs(split.Sigma()-whole.Sigma()) > 1e-9*whole.MaxCapacity() {
+		t.Fatalf("sigma: split %v vs whole %v", split.Sigma(), whole.Sigma())
+	}
+	if math.Abs(split.DeliveredCharge()-whole.DeliveredCharge()) > 1e-9 {
+		t.Fatalf("delivered: split %v vs whole %v", split.DeliveredCharge(), whole.DeliveredCharge())
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 // Params are the KiBaM parameters.
@@ -116,10 +117,17 @@ func (b *Battery) solveConst(i, t float64) (y1, y2 float64) {
 	return y1, y2
 }
 
-// Drain implements battery.Model. It uses the closed-form constant-current
-// solution; if the available well would empty during the interval, the time
-// of death is located by bisection and only the sustained portion is applied.
+// Drain implements battery.Model. The closed-form solution is exact for any
+// dt, so Drain and DrainSegment coincide.
 func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
+	return b.DrainSegment(current, dt)
+}
+
+// DrainSegment implements battery.SegmentDrainer: it applies the closed-form
+// constant-current solution over the whole segment; if the available well
+// would empty during the interval, the exhaustion instant is located by
+// ExhaustionTime and only the sustained portion is applied.
+func (b *Battery) DrainSegment(current, dt float64) (sustained float64, alive bool) {
 	if !b.alive {
 		return 0, false
 	}
@@ -135,23 +143,111 @@ func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
 		b.delivered += current * dt
 		return dt, true
 	}
-	// Battery dies within [0, dt]: bisect for the first time y1 crosses zero.
-	lo, hi := 0.0, dt
-	for iter := 0; iter < 80 && hi-lo > 1e-9*dt; iter++ {
-		mid := 0.5 * (lo + hi)
-		m1, _ := b.solveConst(current, mid)
-		if m1 > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
+	tDeath := b.ExhaustionTime(current)
+	if tDeath > dt {
+		tDeath = dt
 	}
-	tDeath := 0.5 * (lo + hi)
 	y1, y2 = b.solveConst(current, tDeath)
 	b.y1, b.y2 = math.Max(y1, 0), math.Max(y2, 0)
 	b.delivered += current * tDeath
 	b.alive = false
 	return tDeath, false
+}
+
+// ExhaustionTime implements battery.SegmentDrainer: the root of y1(t) = 0
+// under a constant current, found by Newton iteration on the closed form with
+// a bisection safeguard.
+func (b *Battery) ExhaustionTime(current float64) float64 {
+	if !b.alive {
+		return 0
+	}
+	if current <= 0 {
+		// Rest only moves charge between the wells; the available well never
+		// empties.
+		return math.Inf(1)
+	}
+	if b.y1 <= 0 {
+		return 0
+	}
+	kp, c := b.kp, b.params.C
+	y10, y20 := b.y1, b.y2
+	y0 := y10 + y20
+	return battery.SolveExhaustion(func(t float64) (float64, float64) {
+		e := math.Exp(-kp * t)
+		r := (kp*t - 1 + e) / kp
+		y1 := y10*e + (y0*kp*c-current)*(1-e)/kp - current*c*r
+		d := -kp*e*y10 + (y0*kp*c-current)*e - current*c*(1-e)
+		return y1, d
+	}, y10/current)
+}
+
+// RepetitionOperator implements battery.RepetitionTransferer: one full
+// repetition of p is the composition of its segments' affine closed-form
+// maps on the well state (y1, y2), precomputed here as a 2x2 matrix plus an
+// offset so a surviving repetition is applied with six multiply-adds.
+func (b *Battery) RepetitionOperator(p *profile.Profile) battery.RepetitionOperator {
+	op := &repetitionOperator{b: b, m11: 1, m22: 1}
+	kp, c := b.kp, b.params.C
+	var duration float64
+	for _, seg := range p.Segments {
+		e := math.Exp(-kp * seg.Duration)
+		r := (kp*seg.Duration - 1 + e) / kp
+		// The closed form as an affine map (y1, y2) -> A (y1, y2) + v.
+		a11 := e + c*(1-e)
+		a12 := c * (1 - e)
+		a21 := (1 - c) * (1 - e)
+		a22 := e + (1-c)*(1-e)
+		v1 := -seg.Current * ((1-e)/kp + c*r)
+		v2 := -seg.Current * (1 - c) * r
+		op.m11, op.m12, op.m21, op.m22, op.d1, op.d2 =
+			a11*op.m11+a12*op.m21, a11*op.m12+a12*op.m22,
+			a21*op.m11+a22*op.m21, a21*op.m12+a22*op.m22,
+			a11*op.d1+a12*op.d2+v1, a21*op.d1+a22*op.d2+v2
+		op.charge += seg.Current * seg.Duration
+		duration += seg.Duration
+		if seg.Current > op.peak {
+			op.peak = seg.Current
+		}
+	}
+	op.peakE = math.Exp(-kp * duration)
+	op.peakR = (kp*duration - 1 + op.peakE) / kp
+	return op
+}
+
+// repetitionOperator is the affine transfer operator of one profile
+// repetition on a KiBaM battery: y -> M y + d on (available, bound), with the
+// delivered charge advancing by the profile charge.
+type repetitionOperator struct {
+	b                  *Battery
+	m11, m12, m21, m22 float64
+	d1, d2             float64
+	charge             float64
+	// Conservative survival check: precomputed e and r terms of the closed
+	// form for draining the profile's peak current over the whole repetition
+	// duration.
+	peak, peakE, peakR float64
+}
+
+// CanAdvance implements battery.RepetitionOperator: the available charge
+// after draining the constant peak current for the whole repetition is a
+// lower bound on the true trajectory (a heavier load at every instant drains
+// the available well faster), so a positive value proves survival.
+func (o *repetitionOperator) CanAdvance() bool {
+	b := o.b
+	if !b.alive {
+		return false
+	}
+	c := b.params.C
+	y0 := b.y1 + b.y2
+	y1 := b.y1*o.peakE + (y0*b.kp*c-o.peak)*(1-o.peakE)/b.kp - o.peak*c*o.peakR
+	return y1 > 0
+}
+
+// Advance implements battery.RepetitionOperator.
+func (o *repetitionOperator) Advance() {
+	b := o.b
+	b.y1, b.y2 = o.m11*b.y1+o.m12*b.y2+o.d1, o.m21*b.y1+o.m22*b.y2+o.d2
+	b.delivered += o.charge
 }
 
 // DrainEuler is a reference forward-Euler integration of the KiBaM ODEs with
@@ -190,5 +286,9 @@ func (b *Battery) String() string {
 		battery.MAh(b.AvailableCharge()), battery.MAh(b.BoundCharge()))
 }
 
-// compile-time interface check
-var _ battery.Model = (*Battery)(nil)
+// compile-time interface checks
+var (
+	_ battery.Model                = (*Battery)(nil)
+	_ battery.SegmentDrainer       = (*Battery)(nil)
+	_ battery.RepetitionTransferer = (*Battery)(nil)
+)

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 func TestNewRejectsBadParams(t *testing.T) {
@@ -235,5 +236,60 @@ func TestKibamInvariantProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRepetitionOperatorMatchesSegmentStepping checks the precomputed affine
+// transfer operator reproduces segment-by-segment closed-form stepping over
+// many profile repetitions.
+func TestRepetitionOperatorMatchesSegmentStepping(t *testing.T) {
+	p := profile.New()
+	p.Append(30, 1.5)
+	p.Append(20, 0.1)
+	p.Append(10, 0.6)
+	viaOperator := Default()
+	viaSegments := Default()
+	op := viaOperator.RepetitionOperator(p)
+	reps := 0
+	for reps < 40 && op.CanAdvance() {
+		op.Advance()
+		reps++
+	}
+	if reps < 10 {
+		t.Fatalf("operator advanced only %d repetitions before its conservative check tripped", reps)
+	}
+	for r := 0; r < reps; r++ {
+		for _, s := range p.Segments {
+			if _, alive := viaSegments.DrainSegment(s.Current, s.Duration); !alive {
+				t.Fatalf("segment path died at repetition %d", r)
+			}
+		}
+	}
+	tol := 1e-9 * viaSegments.MaxCapacity()
+	if math.Abs(viaOperator.AvailableCharge()-viaSegments.AvailableCharge()) > tol {
+		t.Fatalf("available: operator %v vs segments %v", viaOperator.AvailableCharge(), viaSegments.AvailableCharge())
+	}
+	if math.Abs(viaOperator.BoundCharge()-viaSegments.BoundCharge()) > tol {
+		t.Fatalf("bound: operator %v vs segments %v", viaOperator.BoundCharge(), viaSegments.BoundCharge())
+	}
+	if math.Abs(viaOperator.DeliveredCharge()-viaSegments.DeliveredCharge()) > tol {
+		t.Fatalf("delivered: operator %v vs segments %v", viaOperator.DeliveredCharge(), viaSegments.DeliveredCharge())
+	}
+}
+
+// TestExhaustionTimeAgreesWithDrain checks the Newton root coincides with the
+// death instant Drain locates inside a long segment.
+func TestExhaustionTimeAgreesWithDrain(t *testing.T) {
+	b := Default()
+	te := b.ExhaustionTime(10)
+	sustained, alive := b.Drain(10, 1e6)
+	if alive {
+		t.Fatal("battery should have died")
+	}
+	if math.Abs(te-sustained) > 1e-6*te {
+		t.Fatalf("ExhaustionTime = %v, Drain death at %v", te, sustained)
+	}
+	if b.ExhaustionTime(1) != 0 {
+		t.Fatalf("ExhaustionTime after death = %v, want 0", b.ExhaustionTime(1))
 	}
 }

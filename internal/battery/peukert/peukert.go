@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 // Params configure the Peukert model.
@@ -96,8 +97,23 @@ func (b *Battery) MaxCapacity() float64 { return b.params.MaxCoulombs }
 // DeliveredCharge implements battery.Model.
 func (b *Battery) DeliveredCharge() float64 { return b.delivered }
 
-// Drain implements battery.Model.
+// weightRate returns the rate-weighted consumption rate (I/I_ref)^(k-1) * I
+// of a constant current, in coulombs per second against the C_ref budget.
+func (b *Battery) weightRate(current float64) float64 {
+	if current <= 0 {
+		return 0
+	}
+	return math.Pow(current/b.params.ReferenceCurrent, b.params.Exponent-1) * current
+}
+
+// Drain implements battery.Model. The consumption integrals are linear in
+// time under a constant current, so Drain and DrainSegment coincide.
 func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
+	return b.DrainSegment(current, dt)
+}
+
+// DrainSegment implements battery.SegmentDrainer.
+func (b *Battery) DrainSegment(current, dt float64) (sustained float64, alive bool) {
 	if !b.alive {
 		return 0, false
 	}
@@ -107,33 +123,73 @@ func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
 	if current < 0 {
 		current = 0
 	}
-	weightRate := 0.0
-	if current > 0 {
-		weightRate = math.Pow(current/b.params.ReferenceCurrent, b.params.Exponent-1) * current
-	}
-	// Time until either the rate-weighted budget or the absolute maximum
-	// capacity is exhausted.
-	tWeighted := math.Inf(1)
-	if weightRate > 0 {
-		tWeighted = (b.params.ReferenceCapacityCoulombs - b.weighted) / weightRate
-	}
-	tAbsolute := math.Inf(1)
-	if current > 0 {
-		tAbsolute = (b.params.MaxCoulombs - b.delivered) / current
-	}
-	tDeath := math.Min(tWeighted, tAbsolute)
+	tDeath := b.ExhaustionTime(current)
 	if tDeath > dt {
-		b.weighted += weightRate * dt
+		b.weighted += b.weightRate(current) * dt
 		b.delivered += current * dt
 		return dt, true
 	}
-	if tDeath < 0 {
-		tDeath = 0
-	}
-	b.weighted += weightRate * tDeath
+	b.weighted += b.weightRate(current) * tDeath
 	b.delivered += current * tDeath
 	b.alive = false
 	return tDeath, false
+}
+
+// ExhaustionTime implements battery.SegmentDrainer: the model has no
+// recovery, so the time until either the rate-weighted budget or the
+// absolute maximum capacity is exhausted is available in closed form.
+func (b *Battery) ExhaustionTime(current float64) float64 {
+	if !b.alive {
+		return 0
+	}
+	if current <= 0 {
+		return math.Inf(1)
+	}
+	tWeighted := math.Inf(1)
+	if wr := b.weightRate(current); wr > 0 {
+		tWeighted = (b.params.ReferenceCapacityCoulombs - b.weighted) / wr
+	}
+	tAbsolute := (b.params.MaxCoulombs - b.delivered) / current
+	tDeath := math.Min(tWeighted, tAbsolute)
+	if tDeath < 0 {
+		return 0
+	}
+	return tDeath
+}
+
+// RepetitionOperator implements battery.RepetitionTransferer: one repetition
+// simply adds the profile's rate-weighted and absolute charge to the two
+// budgets, and both budgets are nondecreasing within a repetition, so the
+// survival check is exact.
+func (b *Battery) RepetitionOperator(p *profile.Profile) battery.RepetitionOperator {
+	op := &repetitionOperator{b: b}
+	for _, seg := range p.Segments {
+		op.weighted += b.weightRate(seg.Current) * seg.Duration
+		op.charge += seg.Current * seg.Duration
+	}
+	return op
+}
+
+// repetitionOperator is the transfer operator of one profile repetition on a
+// Peukert battery: both consumption budgets advance by a precomputed amount.
+type repetitionOperator struct {
+	b                *Battery
+	weighted, charge float64
+}
+
+// CanAdvance implements battery.RepetitionOperator.
+func (o *repetitionOperator) CanAdvance() bool {
+	b := o.b
+	return b.alive &&
+		b.weighted+o.weighted < b.params.ReferenceCapacityCoulombs &&
+		b.delivered+o.charge < b.params.MaxCoulombs
+}
+
+// Advance implements battery.RepetitionOperator.
+func (o *repetitionOperator) Advance() {
+	b := o.b
+	b.weighted += o.weighted
+	b.delivered += o.charge
 }
 
 // String implements fmt.Stringer.
@@ -143,5 +199,9 @@ func (b *Battery) String() string {
 		battery.MAh(b.params.MaxCoulombs), battery.MAh(b.delivered))
 }
 
-// compile-time interface check
-var _ battery.Model = (*Battery)(nil)
+// compile-time interface checks
+var (
+	_ battery.Model                = (*Battery)(nil)
+	_ battery.SegmentDrainer       = (*Battery)(nil)
+	_ battery.RepetitionTransferer = (*Battery)(nil)
+)

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 )
 
 func TestNewRejectsBadParams(t *testing.T) {
@@ -161,5 +162,52 @@ func TestPeukertBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRepetitionOperatorMatchesSegmentStepping checks the per-repetition
+// budget increments reproduce segment-by-segment stepping, including the
+// exact (not conservative) survival check.
+func TestRepetitionOperatorMatchesSegmentStepping(t *testing.T) {
+	p := profile.New()
+	p.Append(30, 1.5)
+	p.Append(20, 0.1)
+	p.Append(10, 0.6)
+	viaOperator := Default()
+	viaSegments := Default()
+	op := viaOperator.RepetitionOperator(p)
+	reps := 0
+	for reps < 40 && op.CanAdvance() {
+		op.Advance()
+		reps++
+	}
+	if reps < 10 {
+		t.Fatalf("operator advanced only %d repetitions", reps)
+	}
+	for r := 0; r < reps; r++ {
+		for _, s := range p.Segments {
+			if _, alive := viaSegments.DrainSegment(s.Current, s.Duration); !alive {
+				t.Fatalf("segment path died at repetition %d", r)
+			}
+		}
+	}
+	if math.Abs(viaOperator.DeliveredCharge()-viaSegments.DeliveredCharge()) > 1e-9*viaSegments.MaxCapacity() {
+		t.Fatalf("delivered: operator %v vs segments %v", viaOperator.DeliveredCharge(), viaSegments.DeliveredCharge())
+	}
+	if math.Abs(viaOperator.weighted-viaSegments.weighted) > 1e-9*viaSegments.MaxCapacity() {
+		t.Fatalf("weighted: operator %v vs segments %v", viaOperator.weighted, viaSegments.weighted)
+	}
+	// The Peukert survival check is exact: after CanAdvance trips, one more
+	// repetition must indeed kill the segment-stepped battery.
+	if reps < 40 {
+		alive := true
+		for _, s := range p.Segments {
+			if _, alive = viaSegments.DrainSegment(s.Current, s.Duration); !alive {
+				break
+			}
+		}
+		if alive {
+			t.Fatal("CanAdvance tripped but the next repetition was survivable")
+		}
 	}
 }

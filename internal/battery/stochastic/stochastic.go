@@ -23,6 +23,12 @@
 //   - Monte Carlo mode: charge units move according to the seeded RNG, one
 //     slot at a time, reproducing the stochastic trajectories of the original
 //     model.
+//
+// Unlike the closed-form models, this model deliberately does not implement
+// battery.SegmentDrainer: its recovery probability depends on the evolving
+// depth of discharge (and Monte Carlo mode on the RNG stream), so there is no
+// exact whole-segment update and battery.SimulateUntilExhausted keeps fine
+// stepping it.
 package stochastic
 
 import (

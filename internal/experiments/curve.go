@@ -21,6 +21,10 @@ type CurveConfig struct {
 	Currents []float64
 	// MaxHours caps each constant-load simulation.
 	MaxHours float64
+	// MaxStep, when positive, forces the uniform-stepping simulation path
+	// with this substep; zero selects the analytic fast path for models that
+	// support it (battery.SimulateOptions.MaxStep).
+	MaxStep float64
 	// RunOptions tune the parallel execution of the (model × current) grid.
 	RunOptions
 }
@@ -81,11 +85,17 @@ func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, 
 	grid := runner.NewGrid(len(cfg.Models), len(cfg.Currents))
 	err = runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (battery.CurvePoint, error) {
 		c := grid.Coords(idx)
-		pts, err := battery.DeliveredCapacityCurve(factories[c[0]](), []float64{cfg.Currents[c[1]]}, cfg.MaxHours*3600)
+		current := cfg.Currents[c[1]]
+		r, err := battery.ConstantLoadLifetimeOpts(factories[c[0]](), current,
+			battery.SimulateOptions{MaxTime: cfg.MaxHours * 3600, MaxStep: cfg.MaxStep})
 		if err != nil {
 			return battery.CurvePoint{}, err
 		}
-		return pts[0], nil
+		return battery.CurvePoint{
+			Current:         current,
+			DeliveredMAh:    r.DeliveredMAh(),
+			LifetimeMinutes: r.LifetimeMinutes(),
+		}, nil
 	}, func(idx int, p battery.CurvePoint) error {
 		c := grid.Coords(idx)
 		out[c[0]].Points[c[1]] = p

@@ -216,9 +216,11 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 			// The load profile is battery-independent; evaluate every battery
 			// model against the one profile instead of re-scheduling per model.
 			for bi, factory := range factories {
+				// Zero MaxStep selects the analytic fast path for the
+				// closed-form models; the stochastic model falls back to 1 s
+				// stepping.
 				br, err := battery.SimulateUntilExhausted(factory(), res.Profile, battery.SimulateOptions{
 					MaxTime: cfg.MaxBatteryHours * 3600,
-					MaxStep: 2,
 				})
 				if err != nil {
 					return scenarioPartial{}, err

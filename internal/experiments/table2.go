@@ -194,9 +194,11 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 		if res.DeadlineMisses > 0 {
 			return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
 		}
+		// Zero MaxStep selects the analytic fast path for the closed-form
+		// models (whole segments + per-repetition transfer operators); the
+		// stochastic model falls back to 1 s stepping.
 		br, err := battery.SimulateUntilExhausted(cfg.Battery(), res.Profile, battery.SimulateOptions{
 			MaxTime: cfg.MaxBatteryHours * 3600,
-			MaxStep: 2,
 		})
 		if err != nil {
 			return nil, err
