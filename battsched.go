@@ -1,7 +1,10 @@
 package battsched
 
 import (
+	"context"
+	"io"
 	"math/rand"
+	"time"
 
 	"battsched/internal/battery"
 	"battsched/internal/battery/diffusion"
@@ -10,6 +13,7 @@ import (
 	"battsched/internal/battery/stochastic"
 	"battsched/internal/core"
 	"battsched/internal/dvs"
+	"battsched/internal/experiments"
 	"battsched/internal/optimal"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
@@ -257,6 +261,16 @@ func NewStochasticBattery() BatteryModel { return stochastic.Default() }
 // NewPeukertBattery returns the default Peukert's-law cell.
 func NewPeukertBattery() BatteryModel { return peukert.Default() }
 
+// NewBatteryModel returns a fresh instance of the battery model registered
+// under name ("stochastic", "kibam", "diffusion", "peukert", or any model a
+// sub-package registered with the battery registry). Unknown names return an
+// error listing the registered names.
+func NewBatteryModel(name string) (BatteryModel, error) { return battery.New(name) }
+
+// BatteryModelNames returns the registered battery model names in sorted
+// order.
+func BatteryModelNames() []string { return battery.Names() }
+
 // BatteryLifetime plays the profile periodically against the model until the
 // battery is exhausted and reports lifetime and delivered charge. Models
 // implementing BatterySegmentDrainer take the analytic fast path (whole
@@ -346,3 +360,74 @@ func MAh(coulombs float64) float64 { return battery.MAh(coulombs) }
 
 // Coulombs converts milliampere-hours to coulombs.
 func Coulombs(mAh float64) float64 { return battery.Coulombs(mAh) }
+
+// Unified experiment API (see internal/experiments): every registered
+// experiment takes one declarative ExperimentSpec and returns one structured
+// ExperimentReport — named rows of metric cells backed by serialisable
+// accumulator state — from which the paper's plain-text tables render
+// byte-identically and which shard partials merge through.
+type (
+	// ExperimentSpec is the declarative input of a registered experiment.
+	ExperimentSpec = experiments.Spec
+	// ExperimentReport is the structured result of an experiment run.
+	ExperimentReport = experiments.Report
+	// ExperimentRow is one named row of an ExperimentReport.
+	ExperimentRow = experiments.ReportRow
+	// ExperimentCell is one metric cell of an ExperimentRow.
+	ExperimentCell = experiments.Cell
+	// ExperimentDefinition describes one registered experiment.
+	ExperimentDefinition = experiments.Definition
+	// ExperimentShard selects one shard of a multi-process partition of an
+	// experiment's absolute set indices.
+	ExperimentShard = experiments.Shard
+)
+
+// RunExperiment executes the registered experiment (see ExperimentNames) with
+// the given spec and returns its structured Report.
+func RunExperiment(ctx context.Context, name string, spec ExperimentSpec) (*ExperimentReport, error) {
+	return experiments.Run(ctx, name, spec)
+}
+
+// ExperimentNames returns the registered experiment names in sorted order.
+func ExperimentNames() []string { return experiments.Names() }
+
+// LookupExperiment resolves a registered experiment's definition; unknown
+// names return an error listing the registered names.
+func LookupExperiment(name string) (ExperimentDefinition, error) { return experiments.Lookup(name) }
+
+// MergeExperimentReports combines the shard partials of one experiment run
+// (in any order) into the report of the complete run. Per-set cells merge
+// exactly by replaying their retained samples in absolute set order; cells
+// without samples (the scenario grid's chunk merges) combine their Welford
+// states, which may differ from the single-process values by rounding error
+// only.
+func MergeExperimentReports(parts []*ExperimentReport) (*ExperimentReport, error) {
+	return experiments.MergeReports(parts)
+}
+
+// FormatExperimentReport renders a report as its experiment's plain-text
+// table, byte-identical to the unsharded historical output.
+func FormatExperimentReport(r *ExperimentReport) (string, error) {
+	return experiments.FormatReport(r)
+}
+
+// ExperimentFooter renders the summary line cmd/experiments prints after each
+// table (sample counts and wall-clock time).
+func ExperimentFooter(r *ExperimentReport, elapsed time.Duration) string {
+	return experiments.Footer(r, elapsed)
+}
+
+// WriteExperimentReports writes reports as the versioned JSON artifact
+// cmd/experiments emits with -o.
+func WriteExperimentReports(w io.Writer, reports []*ExperimentReport) error {
+	return experiments.WriteArtifact(w, reports)
+}
+
+// ReadExperimentReports reads a JSON artifact written by
+// WriteExperimentReports, validating its schema version.
+func ReadExperimentReports(r io.Reader) ([]*ExperimentReport, error) {
+	return experiments.ReadArtifact(r)
+}
+
+// ParseExperimentShard parses the CLI shard form "i/n" ("" is unsharded).
+func ParseExperimentShard(s string) (ExperimentShard, error) { return experiments.ParseShard(s) }

@@ -1,7 +1,9 @@
 package battsched_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -199,5 +201,103 @@ func TestPublicAPIScenarioGrid(t *testing.T) {
 	}
 	if out := battsched.FormatScenarioGrid(rows); !strings.Contains(out, "BAS-2") {
 		t.Fatalf("format output unexpected:\n%s", out)
+	}
+}
+
+// TestPublicAPIExperimentRegistry exercises the unified experiment surface:
+// registry dispatch, report rendering, shard/merge and the JSON artifact, all
+// through the root facade.
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	names := battsched.ExperimentNames()
+	if len(names) != 6 {
+		t.Fatalf("ExperimentNames() = %v", names)
+	}
+	if _, err := battsched.LookupExperiment("bogus"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+
+	ctx := context.Background()
+	spec := battsched.ExperimentSpec{Quick: true, Battery: "kibam"}
+	full, err := battsched.RunExperiment(ctx, "table2", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullText, err := battsched.FormatExperimentReport(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fullText, "BAS-2") || !strings.Contains(fullText, "kibam") {
+		t.Fatalf("report rendering unexpected:\n%s", fullText)
+	}
+	if battsched.ExperimentFooter(full, 0) == "" {
+		t.Fatal("empty footer")
+	}
+
+	// Shard the run two ways and merge the partials through an artifact
+	// round-trip: the merged report renders byte-identically.
+	var parts []*battsched.ExperimentReport
+	for i := 0; i < 2; i++ {
+		s := spec
+		var err error
+		s.Shard, err = battsched.ParseExperimentShard(fmt.Sprintf("%d/2", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := battsched.RunExperiment(ctx, "table2", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, part)
+	}
+	var buf bytes.Buffer
+	if err := battsched.WriteExperimentReports(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := battsched.ReadExperimentReports(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := battsched.MergeExperimentReports(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedText, err := battsched.FormatExperimentReport(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedText != fullText {
+		t.Fatalf("merged shards render differently:\n%s\n---\n%s", mergedText, fullText)
+	}
+}
+
+// TestPublicAPIBatteryRegistry exercises the battery model registry facade.
+func TestPublicAPIBatteryRegistry(t *testing.T) {
+	names := battsched.BatteryModelNames()
+	if len(names) < 4 {
+		t.Fatalf("BatteryModelNames() = %v", names)
+	}
+	for _, name := range names {
+		m, err := battsched.NewBatteryModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("NewBatteryModel(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := battsched.NewBatteryModel("bogus"); err == nil || !strings.Contains(err.Error(), "kibam") {
+		t.Fatalf("unknown model error should list names, got %v", err)
+	}
+}
+
+// TestPublicAPIStatsState exercises the accumulator state facade.
+func TestPublicAPIStatsState(t *testing.T) {
+	var a battsched.StatsAccumulator
+	for _, x := range []float64{1, 2, 3, 4} {
+		a.Add(x)
+	}
+	b := battsched.StatsFromState(a.State())
+	if b.N() != 4 || b.Mean() != a.Mean() || b.StdDev() != a.StdDev() {
+		t.Fatalf("StatsFromState mismatch: %+v vs %+v", b.Summary(), a.Summary())
 	}
 }

@@ -1,23 +1,39 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section:
+// evaluation section through the experiment registry:
 //
-//	-table1   Table 1  — ordering heuristics vs the optimal order (single DAGs)
-//	-figure6  Figure 6 — ordering schemes vs a near-optimal baseline
-//	-table2   Table 2  — charge delivered and battery lifetime per scheme
-//	-curve    load vs delivered-capacity battery characterisation curve
-//	-grid     scenario grid: utilisation × battery model × scheme sweep
-//	-all      every paper experiment above
+//	experiments list                     show every registered experiment
+//	experiments run <name>... [flags]    run experiments by registry name
+//	experiments merge [-o out] a.json b.json...
+//	                                     merge shard partials and render the
+//	                                     combined tables
+//
+// Registered experiments: table1, figure6, table2, curve, ablation, grid
+// (see EXPERIMENTS.md for each experiment's paper provenance and knobs);
+// "run all" expands to the paper's own artifacts (table1 figure6 table2
+// curve). The historical flag interface (-table2 -quick ...) keeps working
+// and dispatches through the same registry.
 //
 // Every experiment runs on the parallel job-grid harness; -parallel selects
 // the worker count (default: all cores) and the emitted tables are
 // byte-identical for any worker count with the same seed. -timeout bounds the
-// whole run, -progress reports per-job completion on stderr.
+// whole run, -progress reports per-job completion on stderr (a rewriting
+// status line on a terminal, plain newline lines when redirected).
 //
 // -ci enables adaptive set counts: each stochastic experiment keeps running
 // batches of task-graph sets until the relative Student-t CI95 half-width of
 // its key metric (battery lifetime for Table 2 and the grid, normalised
 // energy otherwise) drops below the target, bounded by -max-sets. The
 // samples/sets columns of the emitted tables report the counts actually run.
+//
+// -o report.json writes the run's structured Reports (accumulator-backed
+// metric cells) as a versioned JSON artifact. -shard i/n restricts a run to
+// its shard of the absolute set indices and emits a partial report; the merge
+// subcommand combines the partials of all n shards into exactly the tables
+// the unsharded run prints:
+//
+//	experiments run table2 -quick -shard 0/2 -o s0.json
+//	experiments run table2 -quick -shard 1/2 -o s1.json
+//	experiments merge -o merged.json s0.json s1.json
 //
 // The -quick flag runs reduced versions (the same configurations the
 // benchmark harness uses); the full versions match the parameters recorded in
@@ -42,39 +58,307 @@ func main() {
 	}
 }
 
-// progressPrinter returns a RunOptions.Progress callback that rewrites one
-// stderr status line, and a done function that clears it.
+// stderrIsTerminal reports whether stderr is a character device, so carriage
+// returns and ANSI erases will actually rewrite a status line instead of
+// littering a redirected log.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressPrinter returns a RunOptions.Progress callback and a done function
+// that finishes the output. On a terminal it rewrites one stderr status line
+// and clears it; on a redirected stream it falls back to a plain newline per
+// decile of completed jobs, so logs stay readable.
 func progressPrinter(name string, enabled bool) (func(done, total int), func()) {
 	if !enabled {
 		return nil, func() {}
 	}
+	if stderrIsTerminal() {
+		return func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs", name, done, total)
+			}, func() {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+	}
+	last := -1
 	return func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs", name, done, total)
-		}, func() {
-			fmt.Fprint(os.Stderr, "\r\033[K")
+		if total <= 0 {
+			return
 		}
+		if decile := done * 10 / total; decile != last {
+			last = decile
+			fmt.Fprintf(os.Stderr, "%s: %d/%d jobs\n", name, done, total)
+		}
+	}, func() {}
 }
 
-// runnerFlags carries the shared execution flags of every experiment.
+// runnerFlags carries the execution and selection flags shared by every
+// experiment run (both the run subcommand and the legacy flag interface).
 type runnerFlags struct {
+	quick    bool
+	seed     int64
+	sets     int
+	util     float64
+	battery  string
+	oracle   bool
+	ccFig6   bool
+	maxstep  float64
 	parallel int
+	timeout  time.Duration
 	progress bool
 	targetCI float64
 	maxSets  int
+	shard    string
+	out      string
 }
 
-// apply wires the shared flags into an experiment's RunOptions and returns
-// the function that clears the progress line once the experiment finishes.
-func (f runnerFlags) apply(opts *experiments.RunOptions, name string) func() {
-	opts.Parallel = f.parallel
-	opts.TargetCI = f.targetCI
-	opts.MaxSets = f.maxSets
-	cb, clear := progressPrinter(name, f.progress)
-	opts.Progress = cb
-	return clear
+// register wires the shared flags into a FlagSet.
+func (f *runnerFlags) register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.quick, "quick", false, "use the reduced (benchmark) configurations")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed (0 selects the default seed 1)")
+	fs.IntVar(&f.sets, "sets", 0, "override the per-row set/graph count of the stochastic experiments")
+	fs.Float64Var(&f.util, "utilization", 0, "override the worst-case utilisation (table1, figure6, table2, ablation)")
+	fs.StringVar(&f.battery, "battery", "", "battery model by registry name for table2, grid and curve (default: each driver's default; unknown names list the registered models)")
+	fs.BoolVar(&f.oracle, "oracle", false, "give pUBS perfect estimates of actual requirements (table2, grid)")
+	fs.BoolVar(&f.ccFig6, "figure6-ccedf", false, "use ccEDF instead of laEDF for Figure 6 frequency setting")
+	fs.Float64Var(&f.maxstep, "maxstep", 0, "force uniform battery stepping with this substep for the curve (0: analytic fast path)")
+	fs.IntVar(&f.parallel, "parallel", 0, "worker count for the job-grid runner (<= 0: all cores, 1: sequential)")
+	fs.DurationVar(&f.timeout, "timeout", 0, "abort the whole run after this duration (0: no limit)")
+	fs.BoolVar(&f.progress, "progress", false, "report per-job progress on stderr")
+	fs.Float64Var(&f.targetCI, "ci", 0, "adaptive set counts: run batches of sets until the relative CI95 half-width of each experiment's key metric drops below this target (0: fixed set counts)")
+	fs.IntVar(&f.maxSets, "max-sets", 0, "hard cap on adaptively grown set counts (0: 8x the configured count; only with -ci)")
+	fs.StringVar(&f.shard, "shard", "", "run only shard i of n (\"i/n\") of the absolute set indices and emit a partial report; combine with the merge subcommand")
+	fs.StringVar(&f.out, "o", "", "write the run's structured reports to this JSON artifact")
+}
+
+// spec builds the experiment Spec the flags describe.
+func (f *runnerFlags) spec() (experiments.Spec, error) {
+	shard, err := experiments.ParseShard(f.shard)
+	if err != nil {
+		return experiments.Spec{}, err
+	}
+	return experiments.Spec{
+		Quick:       f.quick,
+		Seed:        f.seed,
+		Sets:        f.sets,
+		Utilization: f.util,
+		Battery:     f.battery,
+		Oracle:      f.oracle,
+		CCEDF:       f.ccFig6,
+		MaxStep:     f.maxstep,
+		RunOptions: experiments.RunOptions{
+			Parallel: f.parallel,
+			TargetCI: f.targetCI,
+			MaxSets:  f.maxSets,
+			Shard:    shard,
+		},
+	}, nil
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return cmdRun(args[1:], stdout)
+		case "merge":
+			return cmdMerge(args[1:], stdout)
+		case "list":
+			return cmdList(stdout)
+		case "help", "-h", "-help", "--help":
+			return cmdList(stdout)
+		}
+	}
+	// Historical flag interface: experiment selection by boolean flags.
+	return cmdLegacy(args, stdout)
+}
+
+// cmdList prints the registered experiments.
+func cmdList(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "usage: experiments run <name>... [flags] | experiments merge [-o out] shard.json... | experiments list")
+	fmt.Fprintln(stdout, "\nregistered experiments (run \"all\" selects the paper set: table1 figure6 table2 curve):")
+	for _, name := range experiments.Names() {
+		d, err := experiments.Lookup(name)
+		if err != nil {
+			return err
+		}
+		shard := ""
+		if d.Shardable {
+			shard = " [shardable]"
+		}
+		fmt.Fprintf(stdout, "  %-9s %s%s\n", d.Name, d.Title, shard)
+	}
+	fmt.Fprintln(stdout, "\nsee EXPERIMENTS.md for per-experiment provenance, knobs and the shard/merge workflow")
+	return nil
+}
+
+// cmdRun executes `run <name>... [flags]`: experiment names are the leading
+// non-flag arguments and dispatch data-driven through the registry.
+func cmdRun(args []string, stdout io.Writer) error {
+	var names []string
+	for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		names = append(names, args[0])
+		args = args[1:]
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("run: no experiments named (try \"experiments list\")")
+	}
+	fs := flag.NewFlagSet("experiments run", flag.ContinueOnError)
+	var f runnerFlags
+	f.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("run: experiment names must precede the flags (unexpected %q)", fs.Arg(0))
+	}
+	// Expand "all" and validate every name before running anything.
+	var expanded []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		group := []string{name}
+		if name == "all" {
+			group = experiments.PaperExperiments()
+		}
+		for _, n := range group {
+			if _, err := experiments.Lookup(n); err != nil {
+				return err
+			}
+			if !seen[n] {
+				seen[n] = true
+				expanded = append(expanded, n)
+			}
+		}
+	}
+	return execute(expanded, f, stdout)
+}
+
+// execute runs the named experiments in order, prints each rendered table and
+// writes the artifact when requested.
+func execute(names []string, f runnerFlags, stdout io.Writer) error {
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	spec, err := f.spec()
+	if err != nil {
+		return err
+	}
+	// Fail fast on a non-shardable selection before any experiment runs:
+	// a sharded fleet must not lose hours of completed work to a late
+	// dispatch error on the next name in the list.
+	for _, name := range names {
+		d, err := experiments.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if spec.Shard.Enabled() && !d.Shardable {
+			return fmt.Errorf("run: experiment %q is deterministic and does not shard (drop it from the sharded run)", name)
+		}
+	}
+	var reports []*experiments.Report
+	for _, name := range names {
+		s := spec
+		cb, clear := progressPrinter(name, f.progress)
+		s.Progress = cb
+		start := time.Now()
+		rep, err := experiments.Run(ctx, name, s)
+		clear()
+		if err != nil {
+			return err
+		}
+		out, err := experiments.FormatReport(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+		fmt.Fprint(stdout, experiments.Footer(rep, time.Since(start)))
+		reports = append(reports, rep)
+	}
+	return writeArtifactFile(f.out, reports)
+}
+
+// writeArtifactFile writes reports to path as a JSON artifact (no-op for "").
+func writeArtifactFile(path string, reports []*experiments.Report) error {
+	if path == "" {
+		return nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteArtifact(file, reports); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// cmdMerge combines the shard partials of one or more experiments: every
+// artifact must hold the same experiments, each run with -shard i/n for a
+// complete 0..n-1 partition. The merged tables render exactly like the
+// unsharded run's; -o writes the merged reports as an artifact.
+func cmdMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments merge", flag.ContinueOnError)
+	out := fs.String("o", "", "write the merged reports to this JSON artifact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge: no report artifacts named")
+	}
+	byFile := make([][]*experiments.Report, len(files))
+	for i, path := range files {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		reports, err := experiments.ReadArtifact(file)
+		file.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(reports) == 0 {
+			return fmt.Errorf("%s: empty report artifact", path)
+		}
+		byFile[i] = reports
+	}
+	// The first artifact fixes the experiment order; every artifact must
+	// contribute exactly one partial per experiment.
+	var merged []*experiments.Report
+	for ri, first := range byFile[0] {
+		parts := make([]*experiments.Report, 0, len(byFile))
+		for fi, reports := range byFile {
+			if ri >= len(reports) || reports[ri].Experiment != first.Experiment {
+				return fmt.Errorf("%s: expected a %q report at position %d (all artifacts must run the same experiments)",
+					files[fi], first.Experiment, ri)
+			}
+			parts = append(parts, reports[ri])
+		}
+		start := time.Now()
+		rep, err := experiments.MergeReports(parts)
+		if err != nil {
+			return err
+		}
+		text, err := experiments.FormatReport(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, text)
+		fmt.Fprint(stdout, experiments.Footer(rep, time.Since(start)))
+		merged = append(merged, rep)
+	}
+	return writeArtifactFile(*out, merged)
+}
+
+// cmdLegacy keeps the historical boolean-flag interface working, translating
+// it onto the registry dispatch. Default invocations emit the same bytes as
+// before; the one deliberate extension is that an explicit -battery now also
+// reaches the grid and curve drivers (it used to apply to Table 2 only).
+func cmdLegacy(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		table1   = fs.Bool("table1", false, "regenerate Table 1")
@@ -84,180 +368,32 @@ func run(args []string, stdout io.Writer) error {
 		ablation = fs.Bool("ablation", false, "run the estimate-quality ablation (not in the paper)")
 		grid     = fs.Bool("grid", false, "run the scenario-grid sweep (utilisation x battery x scheme, not in the paper)")
 		all      = fs.Bool("all", false, "regenerate every paper experiment")
-		quick    = fs.Bool("quick", false, "use the reduced (benchmark) configurations")
-		seed     = fs.Int64("seed", 1, "random seed")
-		sets     = fs.Int("sets", 0, "override the number of task-graph sets (Table 2 and grid)")
-		util     = fs.Float64("utilization", 0, "override the utilisation (Figure 6 and Table 2)")
-		battery  = fs.String("battery", "stochastic", "battery model for Table 2: stochastic, kibam, diffusion, peukert")
-		ccFig6   = fs.Bool("figure6-ccedf", false, "use ccEDF instead of laEDF for Figure 6 frequency setting")
-		oracle   = fs.Bool("oracle", false, "give pUBS perfect estimates of actual requirements (Table 2)")
-		parallel = fs.Int("parallel", 0, "worker count for the job-grid runner (<= 0: all cores, 1: sequential)")
-		timeout  = fs.Duration("timeout", 0, "abort the whole run after this duration (0: no limit)")
-		progress = fs.Bool("progress", false, "report per-job progress on stderr")
-		targetCI = fs.Float64("ci", 0, "adaptive set counts: run batches of sets until the relative CI95 half-width of each experiment's key metric drops below this target (0: fixed set counts)")
-		maxSets  = fs.Int("max-sets", 0, "hard cap on adaptively grown set counts (0: 8x the configured count; only with -ci)")
 	)
+	var f runnerFlags
+	f.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rf := runnerFlags{parallel: *parallel, progress: *progress, targetCI: *targetCI, maxSets: *maxSets}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (subcommands are: run, merge, list)", fs.Arg(0))
+	}
 	if !*table1 && !*figure6 && !*table2 && !*curve && !*ablation && !*grid {
 		*all = true
 	}
 	if *all {
 		*table1, *figure6, *table2, *curve = true, true, true, true
 	}
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	var names []string
+	for _, sel := range []struct {
+		on   bool
+		name string
+	}{
+		{*table1, "table1"}, {*figure6, "figure6"}, {*table2, "table2"},
+		{*curve, "curve"}, {*ablation, "ablation"}, {*grid, "grid"},
+	} {
+		if sel.on {
+			names = append(names, sel.name)
+		}
 	}
-
-	if *table1 {
-		cfg := experiments.DefaultTable1Config()
-		if *quick {
-			cfg = experiments.QuickTable1Config()
-		}
-		cfg.Seed = *seed
-		clear := rf.apply(&cfg.RunOptions, "table1")
-		start := time.Now()
-		rows, err := experiments.RunTable1(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatTable1(rows))
-		perRow := cfg.GraphsPerCount
-		if len(rows) > 0 {
-			perRow = rows[0].Samples // reports the adaptively grown count
-		}
-		fmt.Fprintf(stdout, "(%d DAGs per row, %.1fs)\n\n", perRow, time.Since(start).Seconds())
-	}
-
-	if *figure6 {
-		cfg := experiments.DefaultFigure6Config()
-		if *quick {
-			cfg = experiments.QuickFigure6Config()
-		}
-		cfg.Seed = *seed
-		cfg.UseCCEDF = *ccFig6
-		clear := rf.apply(&cfg.RunOptions, "figure6")
-		if *util > 0 {
-			cfg.Utilization = *util
-		}
-		start := time.Now()
-		rows, err := experiments.RunFigure6(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatFigure6(rows))
-		alg := "laEDF"
-		if cfg.UseCCEDF {
-			alg = "ccEDF"
-		}
-		perPoint := cfg.SetsPerCount
-		if len(rows) > 0 {
-			perPoint = rows[0].Samples // reports the adaptively grown count
-		}
-		fmt.Fprintf(stdout, "(%d sets per point, %s frequency setting, utilisation %.2f, %.1fs)\n\n",
-			perPoint, alg, cfg.Utilization, time.Since(start).Seconds())
-	}
-
-	if *table2 {
-		cfg := experiments.DefaultTable2Config()
-		if *quick {
-			cfg = experiments.QuickTable2Config()
-		}
-		cfg.Seed = *seed
-		cfg.BatteryName = *battery
-		cfg.Battery = nil
-		cfg.OracleEstimates = *oracle
-		clear := rf.apply(&cfg.RunOptions, "table2")
-		if *sets > 0 {
-			cfg.Sets = *sets
-		}
-		if *util > 0 {
-			cfg.Utilization = *util
-		}
-		start := time.Now()
-		rows, err := experiments.RunTable2(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatTable2(rows, cfg.BatteryName, cfg.Utilization))
-		ranSets := cfg.Sets
-		if len(rows) > 0 {
-			ranSets = rows[0].Sets // reports the adaptively grown count
-		}
-		fmt.Fprintf(stdout, "(%d task-graph sets, %.1fs)\n\n", ranSets, time.Since(start).Seconds())
-	}
-
-	if *curve {
-		cfg := experiments.DefaultCurveConfig()
-		if *quick {
-			cfg = experiments.QuickCurveConfig()
-		}
-		clear := rf.apply(&cfg.RunOptions, "curve")
-		start := time.Now()
-		series, err := experiments.RunLoadCapacityCurve(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatCurve(series))
-		fmt.Fprintf(stdout, "(%.1fs)\n", time.Since(start).Seconds())
-	}
-
-	if *ablation {
-		cfg := experiments.DefaultEstimateAblationConfig()
-		if *quick {
-			cfg = experiments.QuickEstimateAblationConfig()
-		}
-		cfg.Seed = *seed
-		clear := rf.apply(&cfg.RunOptions, "ablation")
-		if *util > 0 {
-			cfg.Utilization = *util
-		}
-		start := time.Now()
-		rows, err := experiments.RunEstimateAblation(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatEstimateAblation(rows))
-		ranSets := cfg.Sets
-		if len(rows) > 0 {
-			ranSets = rows[0].Samples // reports the adaptively grown count
-		}
-		fmt.Fprintf(stdout, "(%d sets, %.1fs)\n", ranSets, time.Since(start).Seconds())
-	}
-
-	if *grid {
-		cfg := experiments.DefaultScenarioGridConfig()
-		if *quick {
-			cfg = experiments.QuickScenarioGridConfig()
-		}
-		cfg.Seed = *seed
-		clear := rf.apply(&cfg.RunOptions, "grid")
-		if *sets > 0 {
-			cfg.Sets = *sets
-		}
-		start := time.Now()
-		rows, err := experiments.RunScenarioGrid(ctx, cfg)
-		clear()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, experiments.FormatScenarioGrid(rows))
-		perCell := cfg.Sets
-		if len(rows) > 0 {
-			perCell = rows[0].Charge.N // reports the adaptively grown count
-		}
-		fmt.Fprintf(stdout, "(%d sets per cell, %.1fs)\n", perCell, time.Since(start).Seconds())
-	}
-	return nil
+	return execute(names, f, stdout)
 }

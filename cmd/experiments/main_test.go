@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"battsched/internal/experiments"
 )
 
 func TestRunQuickAll(t *testing.T) {
@@ -75,6 +79,140 @@ func TestParallelByteIdenticalOutput(t *testing.T) {
 		if stripTimings(seq.String()) != stripTimings(par.String()) {
 			t.Fatalf("-parallel %s output differs from -parallel 1:\n%s\n---\n%s", parallel, seq.String(), par.String())
 		}
+	}
+}
+
+// TestRunSubcommandMatchesLegacy checks that the registry-dispatched run
+// subcommand emits exactly the bytes of the historical flag interface.
+func TestRunSubcommandMatchesLegacy(t *testing.T) {
+	var legacy, sub bytes.Buffer
+	if err := run([]string{"-table2", "-curve", "-quick", "-battery", "kibam"}, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "table2", "curve", "-quick", "-battery", "kibam"}, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(legacy.String()) != stripTimings(sub.String()) {
+		t.Fatalf("run subcommand differs from legacy flags:\n%s\n---\n%s", sub.String(), legacy.String())
+	}
+}
+
+// TestListCommand checks that list names every registered experiment.
+func TestListCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range experiments.Names() {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("list output missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestRunSubcommandErrors covers the dispatch error paths.
+func TestRunSubcommandErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"run"}, &buf); err == nil {
+		t.Fatal("expected error for run without names")
+	}
+	if err := run([]string{"run", "bogus", "-quick"}, &buf); err == nil || !strings.Contains(err.Error(), "table2") {
+		t.Fatalf("unknown experiment error should list registered names, got %v", err)
+	}
+	if err := run([]string{"run", "table2", "-quick", "trailing"}, &buf); err == nil {
+		t.Fatal("expected error for names after flags")
+	}
+	if err := run([]string{"run", "table2", "-quick", "-shard", "2/2"}, &buf); err == nil {
+		t.Fatal("expected error for out-of-range shard")
+	}
+	if err := run([]string{"run", "curve", "-quick", "-shard", "0/2"}, &buf); err == nil {
+		t.Fatal("expected error for sharding the deterministic curve")
+	}
+	// The non-shardable selection must fail before any experiment runs, even
+	// when the curve is not the first name in the list.
+	if err := run([]string{"run", "table2", "curve", "-quick", "-shard", "0/2"}, &buf); err == nil || !strings.Contains(err.Error(), "curve") {
+		t.Fatalf("sharded run containing the curve should fail fast, got %v", err)
+	}
+	if err := run([]string{"bogus-command"}, &buf); err == nil {
+		t.Fatal("expected error for unknown subcommand-looking flag")
+	}
+	if err := run([]string{"merge"}, &buf); err == nil {
+		t.Fatal("expected error for merge without files")
+	}
+	if err := run([]string{"merge", filepath.Join(t.TempDir(), "missing.json")}, &buf); err == nil {
+		t.Fatal("expected error for missing artifact")
+	}
+}
+
+// shardMergeOutputs runs the unsharded reference and the 2-way shard + merge
+// pipeline for the given extra flags, returning both stripped outputs.
+func shardMergeOutputs(t *testing.T, extra ...string) (unsharded, merged string) {
+	t.Helper()
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	s0 := filepath.Join(dir, "s0.json")
+	s1 := filepath.Join(dir, "s1.json")
+
+	base := append([]string{"run", "table2", "grid", "-quick", "-battery", "kibam"}, extra...)
+	var fullOut bytes.Buffer
+	if err := run(append(base, "-o", full), &fullOut); err != nil {
+		t.Fatal(err)
+	}
+	var shardOut bytes.Buffer
+	if err := run(append(base, "-shard", "0/2", "-o", s0), &shardOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-shard", "1/2", "-o", s1), &shardOut); err != nil {
+		t.Fatal(err)
+	}
+	var mergeOut bytes.Buffer
+	if err := run([]string{"merge", "-o", filepath.Join(dir, "merged.json"), s0, s1}, &mergeOut); err != nil {
+		t.Fatal(err)
+	}
+	return stripTimings(fullOut.String()), stripTimings(mergeOut.String())
+}
+
+// TestShardMergeGolden is the CLI-level shard/merge guarantee: running the
+// quick Table 2 and scenario grid as two shards and merging the partial
+// report artifacts emits byte-identical formatted output to the unsharded
+// run — with fixed set counts and with -ci adaptive set counts (capped by
+// -max-sets so every shard executes the same absolute batch grid).
+func TestShardMergeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard/merge sweep skipped in -short mode")
+	}
+	unsharded, merged := shardMergeOutputs(t)
+	if unsharded != merged {
+		t.Fatalf("fixed-count shard+merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s", unsharded, merged)
+	}
+	unsharded, merged = shardMergeOutputs(t, "-ci", "1e-12", "-max-sets", "8")
+	if unsharded != merged {
+		t.Fatalf("adaptive shard+merge differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s", unsharded, merged)
+	}
+}
+
+// TestReportArtifact checks the -o JSON artifact: it round-trips through
+// ReadArtifact and holds one report per experiment run.
+func TestReportArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var buf bytes.Buffer
+	if err := run([]string{"run", "table2", "curve", "-quick", "-battery", "kibam", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	reports, err := experiments.ReadArtifact(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Experiment != "table2" || reports[1].Experiment != "curve" {
+		t.Fatalf("artifact reports = %+v", reports)
+	}
+	if reports[0].Version != experiments.ReportVersion {
+		t.Fatalf("report version = %d", reports[0].Version)
 	}
 }
 

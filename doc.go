@@ -81,6 +81,35 @@
 // RunScenarioGrid sweeps the (utilisation × battery model × scheme) grid that
 // new workloads plug into.
 //
+// # Unified experiment API
+//
+// Every experiment of the evaluation — Table 1, Figure 6, Table 2, the
+// battery characterisation curve, the estimate-quality ablation and the
+// scenario grid — is registered by name in an experiment registry and runs
+// through one declarative surface: an ExperimentSpec in, an ExperimentReport
+// out (RunExperiment, ExperimentNames). A Report is named rows of metric
+// cells backed by serialisable accumulator state (n/mean/M2/min/max, exact
+// across JSON round-trips); the paper's plain-text tables render from it
+// byte-identically (FormatExperimentReport) and cmd/experiments writes it as
+// a versioned JSON artifact with -o. Battery models register the same way
+// (NewBatteryModel, BatteryModelNames): importing a model package makes its
+// name available to every -battery flag, and unknown names fail listing the
+// valid ones.
+//
+// Because set seeds key on absolute set indices, a run shards exactly across
+// processes or machines: -shard i/n (ExperimentShard) restricts a run to its
+// contiguous slice of every batch's set range and emits a partial report, and
+// MergeExperimentReports (the CLI's merge subcommand) combines all n partials
+// into the complete run. Per-set experiments retain their samples, so the
+// merge replays them in absolute order and reproduces the unsharded
+// accumulators bit-for-bit; the scenario grid's chunk-merged cells combine
+// Welford state instead, identical up to floating-point reassociation (never
+// visibly at table precision).
+//
+//	go run ./cmd/experiments run table2 -quick -shard 0/2 -o s0.json
+//	go run ./cmd/experiments run table2 -quick -shard 1/2 -o s1.json
+//	go run ./cmd/experiments merge -o merged.json s0.json s1.json
+//
 // # Adaptive set counts
 //
 // Every table cell the paper reports is a mean over random task-graph sets.

@@ -62,6 +62,10 @@ type Battery struct {
 	decayBuf []float64
 }
 
+// The model registers itself so battery.New("diffusion") and every -battery
+// flag resolve it by name.
+func init() { battery.Register("diffusion", func() battery.Model { return Default() }) }
+
 // Default returns a diffusion battery calibrated like the paper's 2000 mAh
 // AAA NiMH cell: alpha equals the maximum capacity and beta^2 is set so the
 // delivered charge at an ampere-scale load is about 80 % of the maximum,

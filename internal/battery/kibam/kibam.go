@@ -43,6 +43,10 @@ type Battery struct {
 	alive     bool
 }
 
+// The model registers itself so battery.New("kibam") and every -battery flag
+// resolve it by name.
+func init() { battery.Register("kibam", func() battery.Model { return Default() }) }
+
 // Default returns a KiBaM battery calibrated for the paper's cell: a 1.2 V
 // AAA NiMH battery with a maximum capacity of 2000 mAh. The well split and
 // rate constant are chosen so that the nominal (≈1 A rate) delivered capacity

@@ -51,6 +51,10 @@ type Battery struct {
 	alive     bool
 }
 
+// The model registers itself so battery.New("peukert") and every -battery
+// flag resolve it by name.
+func init() { battery.Register("peukert", func() battery.Model { return Default() }) }
+
 // Default returns a Peukert battery calibrated like the paper's cell:
 // 1600 mAh nominal at a 1 A reference current, 2000 mAh maximum, exponent 1.15
 // (typical for NiMH chemistry).

@@ -80,6 +80,10 @@ type Battery struct {
 	alive     bool
 }
 
+// The model registers itself so battery.New("stochastic") and every -battery
+// flag resolve it by name.
+func init() { battery.Register("stochastic", func() battery.Model { return Default() }) }
+
 // Default returns the model calibrated like the paper's cell: a 1.2 V AAA
 // NiMH battery with 2000 mAh maximum and roughly 1600 mAh nominal capacity,
 // evaluated in deterministic expected-value mode.

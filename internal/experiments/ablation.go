@@ -3,13 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/runner"
-	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
 )
@@ -64,16 +64,42 @@ type ablationSample struct {
 	ok         bool
 }
 
-// RunEstimateAblation runs the estimate-quality ablation: BAS-2 (ccEDF + pUBS
-// over all released graphs, the configuration in which ordering effects are
-// fully visible) with a perfect oracle, a history estimator and a pessimistic
-// fixed estimator, each normalised by random ordering on the same workload.
-// Each task-graph set runs as one job of the runner harness; samples stream
-// back in set order and fold into per-variant accumulators. With
-// RunOptions.TargetCI set, additional batches of sets run until the relative
-// CI95 of every variant's normalised energy (the key metric) converges or
-// MaxSets is reached.
-func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
+func init() {
+	mustRegister(Definition{
+		Name:      "ablation",
+		Title:     "Estimate-quality ablation — pUBS benefit vs X_k estimator accuracy (beyond the paper)",
+		Paper:     "not in the paper (quantifies the Section 4 estimate-accuracy discussion)",
+		Shardable: true,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultEstimateAblationConfig()
+			if spec.Quick {
+				cfg = QuickEstimateAblationConfig()
+			}
+			if spec.Seed != 0 {
+				cfg.Seed = spec.Seed
+			}
+			if spec.Sets > 0 {
+				cfg.Sets = spec.Sets
+			}
+			if spec.Utilization > 0 {
+				cfg.Utilization = spec.Utilization
+			}
+			cfg.RunOptions = spec.RunOptions
+			return runEstimateAblationReport(ctx, cfg)
+		},
+	})
+}
+
+// runEstimateAblationReport runs the estimate-quality ablation: BAS-2 (ccEDF
+// + pUBS over all released graphs, the configuration in which ordering
+// effects are fully visible) with a perfect oracle, a history estimator and a
+// pessimistic fixed estimator, each normalised by random ordering on the same
+// workload. Each task-graph set runs as one job of the runner harness;
+// samples stream back in set order and fold into per-variant accumulators.
+// With RunOptions.TargetCI set, additional batches of sets run until the
+// relative CI95 of every variant's normalised energy (the key metric)
+// converges or MaxSets is reached.
+func runEstimateAblationReport(ctx context.Context, cfg EstimateAblationConfig) (*Report, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -142,22 +168,23 @@ func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]Est
 		return sample, nil
 	}
 
-	accs := make([]stats.Accumulator, len(variants))
+	accs := make([]metricAcc, len(variants))
 	_, err := runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
 		return runner.RunStream(ctx, hi-lo, cfg.runnerOptions(), func(_ context.Context, i int) (ablationSample, error) {
-			return job(lo + i) // absolute set index: seeds are batch-independent
-		}, func(_ int, sample ablationSample) error {
+			return job(lo + i) // absolute set index: seeds are batch- and shard-independent
+		}, func(i int, sample ablationSample) error {
 			if !sample.ok {
 				return nil
 			}
-			for i, v := range sample.normalised {
-				accs[i].Add(v)
+			set := lo + i
+			for vi, v := range sample.normalised {
+				accs[vi].Add(set, v)
 			}
 			return nil
 		})
 	}, func() bool {
 		for i := range accs {
-			if !converged(cfg.TargetCI, &accs[i]) {
+			if !converged(cfg.TargetCI, &accs[i].acc) {
 				return false
 			}
 		}
@@ -167,11 +194,50 @@ func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]Est
 		return nil, err
 	}
 
-	rows := make([]EstimateAblationRow, len(variants))
-	for i, v := range variants {
-		rows[i] = EstimateAblationRow{Estimator: v.name, EnergyVsRandom: accs[i].Mean(), Samples: accs[i].N()}
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "ablation",
+		Meta: map[string]string{
+			"seed":           strconv.FormatInt(cfg.Seed, 10),
+			"sets":           strconv.Itoa(cfg.Sets),
+			"graphs_per_set": strconv.Itoa(cfg.GraphsPerSet),
+			"utilization":    formatFloat(cfg.Utilization),
+			"hyperperiods":   strconv.Itoa(cfg.Hyperperiods),
+			// Adaptive-stopping knobs: shards run with different settings
+			// cover different sets and must refuse to merge.
+			"target_ci": formatFloat(cfg.TargetCI),
+			"max_sets":  strconv.Itoa(cfg.MaxSets),
+		},
+		Shard: shardInfo(cfg.Shard),
 	}
-	return rows, nil
+	for i, v := range variants {
+		rep.Rows = append(rep.Rows, ReportRow{
+			Key:   v.name,
+			Cells: map[string]Cell{"energy_vs_random": accs[i].Cell()},
+		})
+	}
+	return rep, nil
+}
+
+// estimateAblationRowsFromReport reconstructs the typed rows from a Report.
+func estimateAblationRowsFromReport(r *Report) []EstimateAblationRow {
+	rows := make([]EstimateAblationRow, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cell := row.Cells["energy_vs_random"]
+		rows = append(rows, EstimateAblationRow{Estimator: row.Key, EnergyVsRandom: cell.Mean, Samples: cell.N})
+	}
+	return rows
+}
+
+// RunEstimateAblation runs the estimate-quality ablation and returns its
+// typed rows (see runEstimateAblationReport; the registry path returns the
+// Report directly).
+func RunEstimateAblation(ctx context.Context, cfg EstimateAblationConfig) ([]EstimateAblationRow, error) {
+	rep, err := runEstimateAblationReport(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return estimateAblationRowsFromReport(rep), nil
 }
 
 // FormatEstimateAblation renders the ablation rows as a plain-text table.

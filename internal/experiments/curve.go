@@ -3,9 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"battsched/internal/battery"
 	"battsched/internal/runner"
+	"battsched/internal/stats"
 )
 
 // CurveConfig parameterises the load versus delivered-capacity battery
@@ -53,12 +56,34 @@ type CurveSeries struct {
 	Points []battery.CurvePoint
 }
 
-// RunLoadCapacityCurve sweeps constant loads for each requested battery
+func init() {
+	mustRegister(Definition{
+		Name:      "curve",
+		Title:     "Load vs delivered-capacity battery characterisation curve",
+		Paper:     "Section 5 (the curve whose extrapolations define maximum capacity and available charge)",
+		Shardable: false,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultCurveConfig()
+			if spec.Quick {
+				cfg = QuickCurveConfig()
+			}
+			if spec.Battery != "" {
+				cfg.Models = []string{spec.Battery}
+			}
+			cfg.MaxStep = spec.MaxStep
+			cfg.RunOptions = spec.RunOptions
+			return runLoadCapacityCurveReport(ctx, cfg)
+		},
+	})
+}
+
+// runLoadCapacityCurveReport sweeps constant loads for each requested battery
 // model. Each (model, current) cell is one job of the runner harness: a
 // fresh battery instance simulated to exhaustion at that constant load.
 // Points stream directly into the output series. The sweep is deterministic
-// (no stochastic sets), so RunOptions.TargetCI has no effect here.
-func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, error) {
+// (no stochastic sets), so RunOptions.TargetCI has no effect and the
+// experiment does not shard.
+func runLoadCapacityCurveReport(ctx context.Context, cfg CurveConfig) (*Report, error) {
 	if len(cfg.Models) == 0 {
 		cfg.Models = DefaultCurveConfig().Models
 	}
@@ -104,5 +129,66 @@ func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, 
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "curve",
+		Meta: map[string]string{
+			"max_hours": formatFloat(cfg.MaxHours),
+			"max_step":  formatFloat(cfg.MaxStep),
+			"models":    strings.Join(cfg.Models, ","),
+		},
+	}
+	// One row per (model, current) point; the single observation is stored as
+	// an n=1 accumulator state so the curve shares the generic cell shape.
+	point := func(v float64) Cell {
+		var a stats.Accumulator
+		a.Add(v)
+		return Cell{State: a.State()}
+	}
+	for mi, s := range out {
+		for _, p := range s.Points {
+			current := formatFloat(p.Current)
+			rep.Rows = append(rep.Rows, ReportRow{
+				Key:    s.Model + "@" + current,
+				Labels: map[string]string{"model": s.Model, "current": current, "model_index": strconv.Itoa(mi)},
+				Cells: map[string]Cell{
+					"delivered_mah": point(p.DeliveredMAh),
+					"life_min":      point(p.LifetimeMinutes),
+				},
+			})
+		}
+	}
+	return rep, nil
+}
+
+// curveSeriesFromReport reconstructs the per-model series from a Report.
+func curveSeriesFromReport(r *Report) []CurveSeries {
+	var out []CurveSeries
+	last := ""
+	for _, row := range r.Rows {
+		if idx := row.Labels["model_index"]; len(out) == 0 || idx != last {
+			out = append(out, CurveSeries{Model: row.Labels["model"]})
+			last = idx
+		}
+		s := &out[len(out)-1]
+		current, _ := strconv.ParseFloat(row.Labels["current"], 64)
+		s.Points = append(s.Points, battery.CurvePoint{
+			Current:         current,
+			DeliveredMAh:    row.Cells["delivered_mah"].Mean,
+			LifetimeMinutes: row.Cells["life_min"].Mean,
+		})
+	}
+	return out
+}
+
+// RunLoadCapacityCurve sweeps constant loads for each requested battery model
+// and returns the per-model series (see runLoadCapacityCurveReport; the
+// registry path returns the Report directly).
+func RunLoadCapacityCurve(ctx context.Context, cfg CurveConfig) ([]CurveSeries, error) {
+	rep, err := runLoadCapacityCurveReport(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return curveSeriesFromReport(rep), nil
 }

@@ -3,13 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
 	"battsched/internal/runner"
-	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
 )
@@ -137,14 +137,41 @@ func figure6Job(cfg Figure6Config, proc *processor.Model, alg func() dvs.Algorit
 	return sample, nil
 }
 
-// RunFigure6 regenerates Figure 6. The (graph count × set) grid runs as
-// independent jobs; each job simulates the baseline and the four ordering
+func init() {
+	mustRegister(Definition{
+		Name:      "figure6",
+		Title:     "Figure 6 — ordering schemes vs a precedence-free near-optimal baseline",
+		Paper:     "Figure 6 (Section 4)",
+		Shardable: true,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultFigure6Config()
+			if spec.Quick {
+				cfg = QuickFigure6Config()
+			}
+			if spec.Seed != 0 {
+				cfg.Seed = spec.Seed
+			}
+			if spec.Sets > 0 {
+				cfg.SetsPerCount = spec.Sets
+			}
+			if spec.Utilization > 0 {
+				cfg.Utilization = spec.Utilization
+			}
+			cfg.UseCCEDF = spec.CCEDF
+			cfg.RunOptions = spec.RunOptions
+			return runFigure6Report(ctx, cfg)
+		},
+	})
+}
+
+// runFigure6Report regenerates Figure 6. The (graph count × set) grid runs
+// as independent jobs; each job simulates the baseline and the four ordering
 // schemes on its own workload. Samples stream back in job order and fold
 // into per-(count, scheme) accumulators; with RunOptions.TargetCI set,
 // additional batches of sets run per point until the relative CI95 of every
 // scheme's normalised energy (the key metric) converges or MaxSets is
 // reached.
-func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
+func runFigure6Report(ctx context.Context, cfg Figure6Config) (*Report, error) {
 	if len(cfg.GraphCounts) == 0 || cfg.SetsPerCount <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -160,33 +187,32 @@ func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 	}
 	schemes := figure6Schemes()
 
-	accs := make([][]stats.Accumulator, len(cfg.GraphCounts))
-	samplesOK := make([]int, len(cfg.GraphCounts))
+	accs := make([][]metricAcc, len(cfg.GraphCounts))
 	for i := range accs {
-		accs[i] = make([]stats.Accumulator, len(schemes))
+		accs[i] = make([]metricAcc, len(schemes))
 	}
 	_, err := runAdaptiveSets(cfg.RunOptions, cfg.SetsPerCount, func(lo, hi int) error {
 		grid := runner.NewGrid(len(cfg.GraphCounts), hi-lo)
 		return runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (figure6Sample, error) {
 			c := grid.Coords(idx)
 			// The set index is absolute (lo+c[1]), so a sample's random
-			// stream does not depend on the batch layout.
+			// stream does not depend on the batch layout or the shard.
 			return figure6Job(cfg, proc, alg, schemes, cfg.GraphCounts[c[0]], lo+c[1])
 		}, func(idx int, sample figure6Sample) error {
 			if !sample.ok {
 				return nil
 			}
-			ci := grid.Coords(idx)[0]
-			samplesOK[ci]++
+			c := grid.Coords(idx)
+			set := lo + c[1]
 			for i, v := range sample.normalised {
-				accs[ci][i].Add(v)
+				accs[c[0]][i].Add(set, v)
 			}
 			return nil
 		})
 	}, func() bool {
 		for ci := range accs {
 			for i := range accs[ci] {
-				if !converged(cfg.TargetCI, &accs[ci][i]) {
+				if !converged(cfg.TargetCI, &accs[ci][i].acc) {
 					return false
 				}
 			}
@@ -197,18 +223,66 @@ func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 		return nil, err
 	}
 
-	rows := make([]Figure6Row, 0, len(cfg.GraphCounts))
+	alg6 := "laEDF"
+	if cfg.UseCCEDF {
+		alg6 = "ccEDF"
+	}
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "figure6",
+		Meta: map[string]string{
+			"seed":           strconv.FormatInt(cfg.Seed, 10),
+			"sets_per_count": strconv.Itoa(cfg.SetsPerCount),
+			"utilization":    formatFloat(cfg.Utilization),
+			"alg":            alg6,
+			"oracle":         strconv.FormatBool(cfg.OracleEstimates),
+			"hyperperiods":   strconv.Itoa(cfg.Hyperperiods),
+			// Adaptive-stopping knobs: shards run with different settings
+			// cover different sets and must refuse to merge.
+			"target_ci": formatFloat(cfg.TargetCI),
+			"max_sets":  strconv.Itoa(cfg.MaxSets),
+		},
+		Shard: shardInfo(cfg.Shard),
+	}
 	for ci, count := range cfg.GraphCounts {
-		rows = append(rows, Figure6Row{
-			Graphs:          count,
-			Random:          accs[ci][0].Mean(),
-			LTF:             accs[ci][1].Mean(),
-			PUBSImminent:    accs[ci][2].Mean(),
-			PUBSAllReleased: accs[ci][3].Mean(),
-			Samples:         samplesOK[ci],
+		rep.Rows = append(rep.Rows, ReportRow{
+			Key: strconv.Itoa(count),
+			Cells: map[string]Cell{
+				"random":        accs[ci][0].Cell(),
+				"ltf":           accs[ci][1].Cell(),
+				"pubs_imminent": accs[ci][2].Cell(),
+				"pubs_all":      accs[ci][3].Cell(),
+			},
 		})
 	}
-	return rows, nil
+	return rep, nil
+}
+
+// figure6RowsFromReport reconstructs the typed rows from a Report.
+func figure6RowsFromReport(r *Report) []Figure6Row {
+	rows := make([]Figure6Row, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		graphs, _ := strconv.Atoi(row.Key)
+		rows = append(rows, Figure6Row{
+			Graphs:          graphs,
+			Random:          row.Cells["random"].Mean,
+			LTF:             row.Cells["ltf"].Mean,
+			PUBSImminent:    row.Cells["pubs_imminent"].Mean,
+			PUBSAllReleased: row.Cells["pubs_all"].Mean,
+			Samples:         row.Cells["random"].N,
+		})
+	}
+	return rows
+}
+
+// RunFigure6 regenerates Figure 6 and returns its typed rows (see
+// runFigure6Report; the registry path returns the Report directly).
+func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
+	rep, err := runFigure6Report(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return figure6RowsFromReport(rep), nil
 }
 
 // runScheme runs one simulation of the given workload under the given scheme.

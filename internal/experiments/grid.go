@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"battsched/internal/battery"
@@ -131,22 +132,55 @@ func schemesByName(names []string) ([]table2Scheme, error) {
 	return out, nil
 }
 
-// RunScenarioGrid sweeps the (utilisation × battery × scheme) grid. Jobs are
-// (utilisation × scheme × set-chunk) cells: a job schedules its chunk of sets
-// sequentially and evaluates every battery model against each set's load
-// profile (the profile does not depend on the battery, so batteries share the
-// scheduling work). Chunk partials stream back in job order and merge into
-// per-cell accumulators (stats.Accumulator.Merge), so the sweep is
-// deterministic at any parallelism and never materialises the full grid.
-// With RunOptions.TargetCI set, additional batches of sets run until the
-// relative CI95 of every cell's battery lifetime (the key metric) converges
-// or MaxSets is reached.
+func init() {
+	mustRegister(Definition{
+		Name:      "grid",
+		Title:     "Scenario grid — utilisation × battery model × scheme sweep (beyond the paper)",
+		Paper:     "not in the paper (generalises Table 2 into the sweep new workloads plug into)",
+		Shardable: true,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultScenarioGridConfig()
+			if spec.Quick {
+				cfg = QuickScenarioGridConfig()
+			}
+			if spec.Seed != 0 {
+				cfg.Seed = spec.Seed
+			}
+			if spec.Sets > 0 {
+				cfg.Sets = spec.Sets
+			}
+			if spec.Battery != "" {
+				cfg.Batteries = []string{spec.Battery}
+			}
+			cfg.OracleEstimates = spec.Oracle
+			cfg.RunOptions = spec.RunOptions
+			return runScenarioGridReport(ctx, cfg)
+		},
+	})
+}
+
+// runScenarioGridReport sweeps the (utilisation × battery × scheme) grid.
+// Jobs are (utilisation × scheme × set-chunk) cells: a job schedules its
+// chunk of sets sequentially and evaluates every battery model against each
+// set's load profile (the profile does not depend on the battery, so
+// batteries share the scheduling work). Chunk partials stream back in job
+// order and merge into per-cell accumulators (stats.Accumulator.Merge), so
+// the sweep is deterministic at any parallelism and never materialises the
+// full grid. With RunOptions.TargetCI set, additional batches of sets run
+// until the relative CI95 of every cell's battery lifetime (the key metric)
+// converges or MaxSets is reached.
 //
 // Within one utilisation point, every (battery, scheme) cell replays the same
 // task-graph sets and actual execution requirements — the set seed depends
 // only on (Seed, utilisation index, set) — so cells are directly comparable
 // across schemes and battery models.
-func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGridRow, error) {
+//
+// Because the grid's cells are chunk merges rather than per-set folds, its
+// Report cells carry accumulator state only: merging shard partials
+// reassociates the Welford reduction and can shift means by a few ulps
+// relative to the unsharded run (never visibly at the table's precision);
+// the per-set drivers merge exactly instead.
+func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report, error) {
 	if len(cfg.Utilizations) == 0 || cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
@@ -290,23 +324,82 @@ func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGri
 		return nil, err
 	}
 
-	rows := make([]ScenarioGridRow, 0, len(cfg.Utilizations)*len(cfg.Batteries)*len(schemes))
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "grid",
+		Meta: map[string]string{
+			"seed":           strconv.FormatInt(cfg.Seed, 10),
+			"sets":           strconv.Itoa(cfg.Sets),
+			"sets_per_job":   strconv.Itoa(cfg.SetsPerJob),
+			"graphs_per_set": strconv.Itoa(cfg.GraphsPerSet),
+			"hyperperiods":   strconv.Itoa(cfg.Hyperperiods),
+			"utilizations":   joinFloats(cfg.Utilizations),
+			"batteries":      strings.Join(cfg.Batteries, ","),
+			"oracle":         strconv.FormatBool(cfg.OracleEstimates),
+			// Adaptive-stopping knobs: shards run with different settings
+			// cover different sets and must refuse to merge.
+			"target_ci": formatFloat(cfg.TargetCI),
+			"max_sets":  strconv.Itoa(cfg.MaxSets),
+		},
+		Shard: shardInfo(cfg.Shard),
+	}
 	for ui, util := range cfg.Utilizations {
 		for bi, bat := range cfg.Batteries {
 			for si, scheme := range schemes {
 				a := &aggs[ui][si][bi]
-				rows = append(rows, ScenarioGridRow{
-					Utilization:    util,
-					Battery:        bat,
-					Scheme:         scheme.name,
-					Charge:         a.charge.Summary(),
-					Life:           a.life.Summary(),
-					DeadlineMisses: a.misses,
+				u := formatFloat(util)
+				rep.Rows = append(rep.Rows, ReportRow{
+					Key:    u + "|" + bat + "|" + scheme.name,
+					Labels: map[string]string{"utilization": u, "battery": bat, "scheme": scheme.name},
+					Cells: map[string]Cell{
+						"charge_mah": stateCell(&a.charge),
+						"life_min":   stateCell(&a.life),
+					},
+					Counts: map[string]int{"deadline_misses": a.misses},
 				})
 			}
 		}
 	}
-	return rows, nil
+	return rep, nil
+}
+
+// joinFloats renders a float list for Meta with exact round-trip formatting.
+func joinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// scenarioGridRowsFromReport reconstructs the typed rows from a Report.
+func scenarioGridRowsFromReport(r *Report) []ScenarioGridRow {
+	rows := make([]ScenarioGridRow, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		util, _ := strconv.ParseFloat(row.Labels["utilization"], 64)
+		charge := stats.FromState(row.Cells["charge_mah"].State)
+		life := stats.FromState(row.Cells["life_min"].State)
+		rows = append(rows, ScenarioGridRow{
+			Utilization:    util,
+			Battery:        row.Labels["battery"],
+			Scheme:         row.Labels["scheme"],
+			Charge:         charge.Summary(),
+			Life:           life.Summary(),
+			DeadlineMisses: row.Counts["deadline_misses"],
+		})
+	}
+	return rows
+}
+
+// RunScenarioGrid sweeps the (utilisation × battery × scheme) grid and
+// returns its typed rows (see runScenarioGridReport; the registry path
+// returns the Report directly).
+func RunScenarioGrid(ctx context.Context, cfg ScenarioGridConfig) ([]ScenarioGridRow, error) {
+	rep, err := runScenarioGridReport(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return scenarioGridRowsFromReport(rep), nil
 }
 
 // FormatScenarioGrid renders the scenario-grid rows as a plain-text table.

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"battsched/internal/runner"
 	"battsched/internal/stats"
 )
@@ -33,6 +37,83 @@ type RunOptions struct {
 	// MaxSets is the hard cap on the adaptively grown set count; 0 selects
 	// 8× the configured count. It never shrinks below the configured count.
 	MaxSets int
+	// Shard restricts the run to one shard of a multi-process partition of
+	// the absolute set indices (the zero value runs everything). The driver
+	// then emits a partial Report that MergeReports combines with the other
+	// shards' partials into the complete run.
+	Shard Shard
+}
+
+// Shard selects shard Index of Count contiguous partitions of every batch's
+// absolute set-index range. Set seeds key on the absolute index, so the
+// shards of a run are exact partitions of the unsharded run's samples:
+// merging all partials reproduces the single-process tables. Under adaptive
+// stopping (TargetCI) the batch grid stays aligned to absolute indices and
+// each shard executes its slice of every batch, but convergence is judged on
+// the shard's own samples — shards therefore reproduce the unsharded
+// adaptive run exactly when they stop after the same number of batches
+// (always true when MaxSets caps the run, the recommended mode for sharded
+// sweeps; see EXPERIMENTS.md).
+type Shard struct {
+	// Index is the shard number in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 or 1 disables sharding.
+	Count int
+}
+
+// Enabled reports whether the shard actually restricts the run.
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// validate checks the index range.
+func (s Shard) validate() error {
+	if s.Count < 0 || (s.Count > 0 && (s.Index < 0 || s.Index >= s.Count)) {
+		return fmt.Errorf("%w: shard %d/%d", ErrBadConfig, s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the CLI form ("1/4"; "" when unsharded).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// slice returns the shard's contiguous sub-range of the absolute set range
+// [lo, hi). The Count slices of a range are an exact partition; a shard's
+// slice may be empty when the range has fewer sets than shards.
+func (s Shard) slice(lo, hi int) (int, int) {
+	if !s.Enabled() {
+		return lo, hi
+	}
+	n := hi - lo
+	return lo + s.Index*n/s.Count, lo + (s.Index+1)*n/s.Count
+}
+
+// ParseShard parses the CLI form "i/n" (e.g. "0/4"); the empty string is the
+// unsharded zero value.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	idx, count, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("%w: shard %q (want i/n, e.g. 0/4)", ErrBadConfig, s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(count)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("%w: shard %q (want i/n, e.g. 0/4)", ErrBadConfig, s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	if sh.Count == 0 && sh.Index != 0 {
+		return Shard{}, fmt.Errorf("%w: shard %q", ErrBadConfig, s)
+	}
+	return sh, nil
 }
 
 // runnerOptions translates the experiment knobs for the runner harness.
@@ -59,7 +140,11 @@ func (o RunOptions) adaptiveMax(initial int) int {
 // executes sets [lo, hi) (hi-lo is at most the configured initial count), and
 // conv inspects the caller's accumulators after each batch. With adaptive
 // stopping disabled exactly one batch of the initial count runs, so fixed-set
-// results are unchanged. Returns the total number of sets run.
+// results are unchanged. With RunOptions.Shard set, every batch is restricted
+// to the shard's contiguous slice of its absolute range — the batch grid
+// itself never moves, so the shards of a run partition exactly the set
+// indices the unsharded run executes. Returns the total number of absolute
+// set indices covered (across all shards).
 //
 // Convergence is all-rows-or-nothing by design: every row of a sweep keeps
 // averaging over the same absolute set indices, so rows stay directly
@@ -72,6 +157,9 @@ func (o RunOptions) adaptiveMax(initial int) int {
 // rows re-run alongside unconverged ones; per-row batching would save that
 // work but make row sample counts diverge.
 func runAdaptiveSets(o RunOptions, initial int, runBatch func(lo, hi int) error, conv func() bool) (int, error) {
+	if err := o.Shard.validate(); err != nil {
+		return 0, err
+	}
 	max := o.adaptiveMax(initial)
 	total := 0
 	for total < max {
@@ -79,7 +167,8 @@ func runAdaptiveSets(o RunOptions, initial int, runBatch func(lo, hi int) error,
 		if hi > max {
 			hi = max
 		}
-		if err := runBatch(total, hi); err != nil {
+		sLo, sHi := o.Shard.slice(total, hi)
+		if err := runBatch(sLo, sHi); err != nil {
 			return total, err
 		}
 		total = hi

@@ -3,7 +3,59 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
+
+// FormatReport renders a Report as the experiment's plain-text table. The
+// output is byte-identical to the historical Format* helpers: the report
+// carries the full accumulator state and row labels, so the typed rows are
+// reconstructed and formatted by the same code path.
+func FormatReport(r *Report) (string, error) {
+	switch r.Experiment {
+	case "table1":
+		return FormatTable1(table1RowsFromReport(r)), nil
+	case "figure6":
+		return FormatFigure6(figure6RowsFromReport(r)), nil
+	case "table2":
+		return FormatTable2(table2RowsFromReport(r), r.Meta["battery"], metaFloat(r.Meta, "utilization")), nil
+	case "curve":
+		return FormatCurve(curveSeriesFromReport(r)), nil
+	case "ablation":
+		return FormatEstimateAblation(estimateAblationRowsFromReport(r)), nil
+	case "grid":
+		return FormatScenarioGrid(scenarioGridRowsFromReport(r)), nil
+	}
+	return "", fmt.Errorf("%w: no renderer for experiment %q", ErrBadConfig, r.Experiment)
+}
+
+// Footer renders the per-experiment summary line cmd/experiments prints after
+// each table (sample counts and wall-clock time), reproducing the historical
+// output byte-for-byte. Unknown experiments get a generic timing line.
+func Footer(r *Report, elapsed time.Duration) string {
+	secs := elapsed.Seconds()
+	n := func(cell string) int {
+		if len(r.Rows) == 0 {
+			return 0
+		}
+		return r.Rows[0].Cells[cell].N
+	}
+	switch r.Experiment {
+	case "table1":
+		return fmt.Sprintf("(%d DAGs per row, %.1fs)\n\n", n("random"), secs)
+	case "figure6":
+		return fmt.Sprintf("(%d sets per point, %s frequency setting, utilisation %.2f, %.1fs)\n\n",
+			n("random"), r.Meta["alg"], metaFloat(r.Meta, "utilization"), secs)
+	case "table2":
+		return fmt.Sprintf("(%d task-graph sets, %.1fs)\n\n", n("charge_mah"), secs)
+	case "curve":
+		return fmt.Sprintf("(%.1fs)\n", secs)
+	case "ablation":
+		return fmt.Sprintf("(%d sets, %.1fs)\n", n("energy_vs_random"), secs)
+	case "grid":
+		return fmt.Sprintf("(%d sets per cell, %.1fs)\n", n("charge_mah"), secs)
+	}
+	return fmt.Sprintf("(%.1fs)\n", secs)
+}
 
 // FormatTable1 renders Table 1 rows as a plain-text table matching the
 // paper's layout (energy normalised with respect to the optimal schedule).

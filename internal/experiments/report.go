@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"sort"
+
+	"battsched/internal/stats"
+)
+
+// ReportVersion is the schema version stamped into every Report and artifact.
+// Readers reject other versions instead of misinterpreting the payload.
+const ReportVersion = 1
+
+// Report is the structured result every experiment driver returns: named rows
+// of metric cells backed by serialisable accumulator state. The plain-text
+// tables of the paper are rendered from it (FormatReport) byte-identically to
+// the historical Format* output, it marshals to the versioned JSON artifact
+// cmd/experiments writes with -o, and shard partials of the same run merge
+// with MergeReports.
+type Report struct {
+	// Version is the report schema version (ReportVersion).
+	Version int `json:"version"`
+	// Experiment is the registry name of the experiment that produced the
+	// report ("table1", "figure6", "table2", "curve", "ablation", "grid").
+	Experiment string `json:"experiment"`
+	// Meta records the configuration fingerprint of the run: everything the
+	// renderer needs beyond the rows (battery model, utilisation, ...) plus
+	// the knobs that must agree for shard partials to be mergeable (seed,
+	// configured set counts, ...). Values are canonical strings; floats use
+	// strconv.FormatFloat(v, 'g', -1, 64) so they round-trip exactly.
+	Meta map[string]string `json:"meta,omitempty"`
+	// Shard identifies the partial's shard; nil for a complete run.
+	Shard *ShardInfo `json:"shard,omitempty"`
+	// Rows are the report rows in render order.
+	Rows []ReportRow `json:"rows"`
+}
+
+// ShardInfo identifies one shard of a sharded run.
+type ShardInfo struct {
+	// Index is the shard number in [0, Count).
+	Index int `json:"index"`
+	// Count is the total number of shards of the run.
+	Count int `json:"count"`
+}
+
+// ReportRow is one named row of a Report.
+type ReportRow struct {
+	// Key identifies the row within its experiment (a scheme name, a task
+	// count, a "model@current" curve point, ...). Merging matches rows by Key.
+	Key string `json:"key"`
+	// Labels carry the row's descriptive columns (DVS algorithm, priority
+	// function, battery model, ...). They must agree across shard partials.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Cells map metric names to their accumulated state.
+	Cells map[string]Cell `json:"cells"`
+	// Counts carry additive integer side-channels (incomplete searches,
+	// deadline misses); merging sums them.
+	Counts map[string]int `json:"counts,omitempty"`
+}
+
+// Cell is one metric cell: exported accumulator state, optionally backed by
+// the retained per-set samples. When every shard partial retains its samples,
+// MergeReports replays them in absolute set order, reproducing the
+// single-process accumulator bit-for-bit; without samples (the scenario
+// grid's chunk-merged cells) it falls back to the Welford state combination,
+// which reassociates the floating-point reduction and may differ from the
+// single-process values by a few ulps (never visibly at table precision).
+type Cell struct {
+	stats.State
+	// Sets and Samples are parallel: Samples[i] is the key-metric observation
+	// of absolute set index Sets[i], in fold order (ascending Sets). Empty
+	// when samples are not retained.
+	Sets    []int     `json:"sets,omitempty"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// metricAcc builds one report cell: an online Welford accumulator plus the
+// retained (absolute set index, value) samples that make shard merging exact.
+// The per-set drivers feed it exactly like the plain accumulators they used
+// before, so the accumulated state — and therefore every golden value — is
+// unchanged.
+type metricAcc struct {
+	acc     stats.Accumulator
+	sets    []int
+	samples []float64
+}
+
+// Add incorporates the observation of one absolute set index.
+func (m *metricAcc) Add(set int, x float64) {
+	m.acc.Add(x)
+	m.sets = append(m.sets, set)
+	m.samples = append(m.samples, x)
+}
+
+// Cell exports the accumulated cell.
+func (m *metricAcc) Cell() Cell {
+	return Cell{State: m.acc.State(), Sets: m.sets, Samples: m.samples}
+}
+
+// stateCell exports an accumulator as a sample-free cell (used by the
+// scenario grid, whose cells are already chunk merges).
+func stateCell(a *stats.Accumulator) Cell { return Cell{State: a.State()} }
+
+// replayable reports whether the cell retains one sample per observation.
+func (c Cell) replayable() bool { return len(c.Samples) == c.N && len(c.Sets) == c.N }
+
+// mergeCells combines the shard partials of one metric cell, given in shard
+// order. When every partial retains its samples the merge re-folds them in
+// absolute set order — bit-for-bit the single-process accumulator; otherwise
+// it falls back to the Welford state combination (see Cell).
+func mergeCells(parts []Cell) (Cell, error) {
+	exact := true
+	total := 0
+	for _, p := range parts {
+		if !p.replayable() {
+			exact = false
+		}
+		total += p.N
+	}
+	if exact {
+		type obs struct {
+			set int
+			x   float64
+		}
+		all := make([]obs, 0, total)
+		for _, p := range parts {
+			for i, set := range p.Sets {
+				all = append(all, obs{set, p.Samples[i]})
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].set < all[j].set })
+		merged := metricAcc{sets: make([]int, 0, total), samples: make([]float64, 0, total)}
+		for i, o := range all {
+			if i > 0 && o.set == all[i-1].set {
+				return Cell{}, fmt.Errorf("experiments: duplicate sample for set %d across shards", o.set)
+			}
+			merged.Add(o.set, o.x)
+		}
+		return merged.Cell(), nil
+	}
+	var acc stats.Accumulator
+	for _, p := range parts {
+		acc.Merge(stats.FromState(p.State))
+	}
+	return Cell{State: acc.State()}, nil
+}
+
+// MergeReports combines the shard partials of one experiment run (in any
+// order) into the report of the complete run. Every shard 0..Count-1 must be
+// present exactly once and the partials must agree on experiment, version,
+// configuration fingerprint (Meta) and row structure. Per-set cells merge
+// exactly (sample replay); state-only cells merge with the documented Welford
+// reassociation bound; counts sum.
+func MergeReports(parts []*Report) (*Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("experiments: no reports to merge")
+	}
+	sorted := make([]*Report, len(parts))
+	copy(sorted, parts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Shard, sorted[j].Shard
+		if si == nil || sj == nil {
+			return sj == nil && si != nil
+		}
+		return si.Index < sj.Index
+	})
+	first := sorted[0]
+	for i, p := range sorted {
+		if p.Version != ReportVersion {
+			return nil, fmt.Errorf("experiments: report version %d, want %d", p.Version, ReportVersion)
+		}
+		if p.Experiment != first.Experiment {
+			return nil, fmt.Errorf("experiments: cannot merge %q with %q", p.Experiment, first.Experiment)
+		}
+		if p.Shard == nil {
+			return nil, fmt.Errorf("experiments: %q report is not a shard partial", p.Experiment)
+		}
+		if p.Shard.Count != len(sorted) {
+			return nil, fmt.Errorf("experiments: %q shard %d/%d merged with %d partial(s)",
+				p.Experiment, p.Shard.Index, p.Shard.Count, len(sorted))
+		}
+		if p.Shard.Index != i {
+			return nil, fmt.Errorf("experiments: %q shards are not a complete 0..%d partition (saw index %d twice or missing)",
+				p.Experiment, len(sorted)-1, p.Shard.Index)
+		}
+		if !maps.Equal(p.Meta, first.Meta) {
+			return nil, fmt.Errorf("experiments: %q shard %d was run with a different configuration (meta %v vs %v)",
+				p.Experiment, p.Shard.Index, p.Meta, first.Meta)
+		}
+		if len(p.Rows) != len(first.Rows) {
+			return nil, fmt.Errorf("experiments: %q shard %d has %d rows, want %d",
+				p.Experiment, p.Shard.Index, len(p.Rows), len(first.Rows))
+		}
+	}
+
+	merged := &Report{
+		Version:    ReportVersion,
+		Experiment: first.Experiment,
+		Meta:       maps.Clone(first.Meta),
+		Rows:       make([]ReportRow, len(first.Rows)),
+	}
+	for ri, row := range first.Rows {
+		out := ReportRow{
+			Key:    row.Key,
+			Labels: maps.Clone(row.Labels),
+			Cells:  make(map[string]Cell, len(row.Cells)),
+		}
+		for _, p := range sorted {
+			pr := p.Rows[ri]
+			if pr.Key != row.Key || !maps.Equal(pr.Labels, row.Labels) {
+				return nil, fmt.Errorf("experiments: %q row %d differs across shards (%q vs %q)",
+					first.Experiment, ri, pr.Key, row.Key)
+			}
+			for name, n := range pr.Counts {
+				if out.Counts == nil {
+					out.Counts = make(map[string]int)
+				}
+				out.Counts[name] += n
+			}
+		}
+		for name := range row.Cells {
+			cells := make([]Cell, len(sorted))
+			for pi, p := range sorted {
+				c, ok := p.Rows[ri].Cells[name]
+				if !ok {
+					return nil, fmt.Errorf("experiments: %q row %q misses cell %q in shard %d",
+						first.Experiment, row.Key, name, pi)
+				}
+				cells[pi] = c
+			}
+			c, err := mergeCells(cells)
+			if err != nil {
+				return nil, fmt.Errorf("%s row %q cell %q: %w", first.Experiment, row.Key, name, err)
+			}
+			out.Cells[name] = c
+		}
+		merged.Rows[ri] = out
+	}
+	return merged, nil
+}
+
+// artifact is the on-disk JSON envelope: a version plus the reports of one
+// cmd/experiments invocation.
+type artifact struct {
+	Version int       `json:"version"`
+	Reports []*Report `json:"reports"`
+}
+
+// WriteArtifact writes reports as an indented, versioned JSON artifact.
+func WriteArtifact(w io.Writer, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(artifact{Version: ReportVersion, Reports: reports})
+}
+
+// ReadArtifact reads an artifact written by WriteArtifact, validating the
+// schema version of the envelope and of every report.
+func ReadArtifact(r io.Reader) ([]*Report, error) {
+	var a artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("experiments: decoding report artifact: %w", err)
+	}
+	if a.Version != ReportVersion {
+		return nil, fmt.Errorf("experiments: report artifact version %d, want %d", a.Version, ReportVersion)
+	}
+	for _, rep := range a.Reports {
+		if rep == nil {
+			return nil, fmt.Errorf("experiments: report artifact contains a null report")
+		}
+		if rep.Version != ReportVersion {
+			return nil, fmt.Errorf("experiments: report version %d, want %d", rep.Version, ReportVersion)
+		}
+	}
+	return a.Reports, nil
+}

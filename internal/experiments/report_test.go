@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNamesAndLookup checks that all six drivers self-register and
+// that unknown names fail with an error listing the registered names.
+func TestRegistryNamesAndLookup(t *testing.T) {
+	want := []string{"ablation", "curve", "figure6", "grid", "table1", "table2"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		d, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name || d.Title == "" || d.Paper == "" || d.Run == nil {
+			t.Fatalf("incomplete definition %+v", d)
+		}
+	}
+	_, err := Lookup("bogus")
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Lookup(bogus) err = %v", err)
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("lookup error %q does not list %q", err, name)
+		}
+	}
+	for _, name := range PaperExperiments() {
+		if _, err := Lookup(name); err != nil {
+			t.Fatalf("paper experiment %q not registered: %v", name, err)
+		}
+	}
+}
+
+// TestRegistryRunMatchesLegacyFormat is the render byte-identity contract:
+// for every experiment, Run(spec) + FormatReport emits exactly the bytes the
+// historical Run*+Format* pairing emits (both paths share one aggregation, so
+// this pins that the Report carries everything rendering needs).
+func TestRegistryRunMatchesLegacyFormat(t *testing.T) {
+	ctx := context.Background()
+	spec := Spec{Quick: true, Battery: "kibam"}
+	legacy := map[string]func() (string, error){
+		"table1": func() (string, error) {
+			rows, err := RunTable1(ctx, QuickTable1Config())
+			return FormatTable1(rows), err
+		},
+		"figure6": func() (string, error) {
+			rows, err := RunFigure6(ctx, QuickFigure6Config())
+			return FormatFigure6(rows), err
+		},
+		"table2": func() (string, error) {
+			cfg := QuickTable2Config()
+			cfg.BatteryName = "kibam"
+			rows, err := RunTable2(ctx, cfg)
+			return FormatTable2(rows, cfg.BatteryName, cfg.Utilization), err
+		},
+		"curve": func() (string, error) {
+			cfg := QuickCurveConfig()
+			cfg.Models = []string{"kibam"}
+			series, err := RunLoadCapacityCurve(ctx, cfg)
+			return FormatCurve(series), err
+		},
+		"ablation": func() (string, error) {
+			rows, err := RunEstimateAblation(ctx, QuickEstimateAblationConfig())
+			return FormatEstimateAblation(rows), err
+		},
+		"grid": func() (string, error) {
+			rows, err := RunScenarioGrid(ctx, QuickScenarioGridConfig())
+			return FormatScenarioGrid(rows), err
+		},
+	}
+	for _, name := range Names() {
+		rep, err := Run(ctx, name, spec)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if rep.Version != ReportVersion || rep.Experiment != name || len(rep.Rows) == 0 || rep.Shard != nil {
+			t.Fatalf("Run(%s) report header = %+v", name, rep)
+		}
+		got, err := FormatReport(rep)
+		if err != nil {
+			t.Fatalf("FormatReport(%s): %v", name, err)
+		}
+		want, err := legacy[name]()
+		if err != nil {
+			t.Fatalf("legacy %s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: FormatReport differs from legacy formatting:\n--- report ---\n%s\n--- legacy ---\n%s", name, got, want)
+		}
+	}
+	if _, err := FormatReport(&Report{Experiment: "bogus"}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("FormatReport(bogus) err = %v", err)
+	}
+}
+
+// TestArtifactRoundTrip checks that a Report survives the JSON artifact
+// bit-for-bit: every accumulator state, sample list, label and count.
+func TestArtifactRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	var reports []*Report
+	for _, name := range []string{"table2", "grid"} {
+		rep, err := Run(ctx, name, Spec{Quick: true, Battery: "kibam"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, reports) {
+		t.Fatalf("artifact round-trip changed the reports:\n%+v\n%+v", back, reports)
+	}
+	if _, err := ReadArtifact(strings.NewReader(`{"version":99,"reports":[]}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := ReadArtifact(strings.NewReader(`{`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// TestMergeReportsValidation covers the merge error paths: wrong shard
+// counts, duplicate shards, unsharded inputs and configuration mismatches.
+func TestMergeReportsValidation(t *testing.T) {
+	ctx := context.Background()
+	shard := func(i, n int, spec Spec) *Report {
+		spec.Shard = Shard{Index: i, Count: n}
+		rep, err := Run(ctx, "table2", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	spec := Spec{Quick: true, Battery: "kibam"}
+	s0, s1 := shard(0, 2, spec), shard(1, 2, spec)
+
+	if _, err := MergeReports(nil); err == nil {
+		t.Fatal("expected error for empty merge")
+	}
+	if _, err := MergeReports([]*Report{s0}); err == nil {
+		t.Fatal("expected error for missing shard")
+	}
+	if _, err := MergeReports([]*Report{s0, s0}); err == nil {
+		t.Fatal("expected error for duplicate shard")
+	}
+	full, err := Run(ctx, "table2", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeReports([]*Report{full, s1}); err == nil {
+		t.Fatal("expected error for unsharded partial")
+	}
+	otherSeed := spec
+	otherSeed.Seed = 99
+	if _, err := MergeReports([]*Report{s0, shard(1, 2, otherSeed)}); err == nil {
+		t.Fatal("expected error for configuration mismatch")
+	}
+	// Adaptive-stopping settings decide which sets a shard executes, so they
+	// are part of the merge fingerprint too.
+	otherCI := spec
+	otherCI.TargetCI = 1000
+	if _, err := MergeReports([]*Report{s0, shard(1, 2, otherCI)}); err == nil {
+		t.Fatal("expected error for adaptive-stopping mismatch")
+	}
+	gridShard, err := Run(ctx, "grid", Spec{Quick: true, RunOptions: RunOptions{Shard: Shard{Index: 1, Count: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeReports([]*Report{s0, gridShard}); err == nil {
+		t.Fatal("expected error for mixed experiments")
+	}
+	// Order independence: merging [s1, s0] equals merging [s0, s1].
+	a, err := MergeReports([]*Report{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MergeReports([]*Report{s1, s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("merge is order-dependent")
+	}
+}
+
+// TestCurveDoesNotShard pins the deterministic curve's shard rejection.
+func TestCurveDoesNotShard(t *testing.T) {
+	_, err := Run(context.Background(), "curve", Spec{Quick: true, RunOptions: RunOptions{Shard: Shard{Index: 0, Count: 2}}})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	if _, err := Run(context.Background(), "table2", Spec{Quick: true, RunOptions: RunOptions{Shard: Shard{Index: 5, Count: 2}}}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad shard err = %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestShardSliceAndParse pins the shard arithmetic: the Count slices of any
+// range are an exact partition, and the CLI form parses symmetrically.
+func TestShardSliceAndParse(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, size := range []int{0, 1, 3, 4, 7, 100} {
+			covered := 0
+			prevHi := 10 // range [10, 10+size)
+			for i := 0; i < n; i++ {
+				lo, hi := (Shard{Index: i, Count: n}).slice(10, 10+size)
+				if lo != prevHi {
+					t.Fatalf("shard %d/%d of %d sets: gap at %d (lo=%d)", i, n, size, prevHi, lo)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != size || prevHi != 10+size {
+				t.Fatalf("%d shards of %d sets cover %d", n, size, covered)
+			}
+		}
+	}
+	for s, want := range map[string]Shard{"": {}, "0/4": {0, 4}, "3/4": {3, 4}} {
+		got, err := ParseShard(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseShard(%q) = %+v, %v", s, got, err)
+		}
+	}
+	for _, bad := range []string{"4/4", "-1/4", "x/4", "1/x", "1", "1/2/3"} {
+		if _, err := ParseShard(bad); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("ParseShard(%q) err = %v, want ErrBadConfig", bad, err)
+		}
+	}
+	if (Shard{1, 4}).String() != "1/4" || (Shard{}).String() != "" {
+		t.Fatal("Shard.String mismatch")
+	}
+}
+
+// runShards runs every shard of name and merges the partials.
+func runShards(t *testing.T, name string, spec Spec, count int) *Report {
+	t.Helper()
+	parts := make([]*Report, count)
+	for i := 0; i < count; i++ {
+		s := spec
+		s.Shard = Shard{Index: i, Count: count}
+		rep, err := Run(context.Background(), name, s)
+		if err != nil {
+			t.Fatalf("%s shard %d/%d: %v", name, i, count, err)
+		}
+		if rep.Shard == nil || rep.Shard.Index != i || rep.Shard.Count != count {
+			t.Fatalf("%s shard %d/%d: report shard = %+v", name, i, count, rep.Shard)
+		}
+		parts[i] = rep
+	}
+	merged, err := MergeReports(parts)
+	if err != nil {
+		t.Fatalf("%s merge: %v", name, err)
+	}
+	return merged
+}
+
+// formatted renders a report, failing the test on error.
+func formatted(t *testing.T, r *Report) string {
+	t.Helper()
+	out, err := FormatReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTable2ShardMergeExact is the shard/merge exactness golden for the
+// per-set drivers: sharding the quick Table 2 run two ways and merging the
+// partials reproduces the unsharded report bit-for-bit — identical
+// accumulator state, identical samples, byte-identical formatted table —
+// because the per-set cells retain their samples and the merge replays them
+// in absolute set order.
+func TestTable2ShardMergeExact(t *testing.T) {
+	spec := Spec{Quick: true, Battery: "kibam"}
+	full, err := Run(context.Background(), "table2", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runShards(t, "table2", spec, 2)
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatalf("merged shards differ from unsharded run:\n%+v\n%+v", merged, full)
+	}
+	if formatted(t, merged) != formatted(t, full) {
+		t.Fatal("formatted output differs")
+	}
+	// Uneven partitions (more shards than divide the set count evenly, and
+	// more shards than sets) must still merge exactly.
+	for _, n := range []int{3, 7} {
+		if got := runShards(t, "table2", spec, n); !reflect.DeepEqual(got, full) {
+			t.Fatalf("%d-way shard merge differs from unsharded run", n)
+		}
+	}
+}
+
+// TestTable2ShardMergeAdaptive covers shard/merge under -ci adaptive set
+// counts: with an unattainable target capped by MaxSets, the unsharded run
+// and every shard execute the same absolute batch grid to the cap, so the
+// merge again reproduces the unsharded adaptive run bit-for-bit. (Each
+// shard's slices of consecutive batches are non-contiguous — sets {0,1},
+// {4,5} for shard 0 of 2 with batches of 4 — which exercises the
+// absolute-order sample replay.)
+func TestTable2ShardMergeAdaptive(t *testing.T) {
+	spec := Spec{Quick: true, Battery: "kibam", RunOptions: RunOptions{TargetCI: 1e-12, MaxSets: 8}}
+	full, err := Run(context.Background(), "table2", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := full.Rows[0].Cells["life_min"].N; n != 8 {
+		t.Fatalf("adaptive run covered %d sets, want the 8-set cap", n)
+	}
+	merged := runShards(t, "table2", spec, 2)
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatalf("adaptive merged shards differ from unsharded run:\n%+v\n%+v", merged, full)
+	}
+	if formatted(t, merged) != formatted(t, full) {
+		t.Fatal("formatted output differs")
+	}
+}
+
+// TestPerSetDriversShardMergeExact extends the exactness guarantee to the
+// remaining per-set drivers (Table 1, Figure 6, the ablation).
+func TestPerSetDriversShardMergeExact(t *testing.T) {
+	for _, name := range []string{"table1", "figure6", "ablation"} {
+		spec := Spec{Quick: true}
+		full, err := Run(context.Background(), name, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		merged := runShards(t, name, spec, 2)
+		if !reflect.DeepEqual(merged, full) {
+			t.Fatalf("%s: merged shards differ from unsharded run:\n%+v\n%+v", name, merged, full)
+		}
+		if formatted(t, merged) != formatted(t, full) {
+			t.Fatalf("%s: formatted output differs", name)
+		}
+	}
+}
+
+// TestGridShardMergeWithinWelfordBound checks the scenario grid's documented
+// contract: its cells are chunk merges (state only, no samples), so a shard
+// merge reassociates the Welford reduction — means agree with the unsharded
+// run within rounding error and the formatted table (which rounds far more
+// coarsely) stays byte-identical.
+func TestGridShardMergeWithinWelfordBound(t *testing.T) {
+	spec := Spec{Quick: true}
+	full, err := Run(context.Background(), "grid", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runShards(t, "grid", spec, 2)
+	if formatted(t, merged) != formatted(t, full) {
+		t.Fatal("formatted grid output differs beyond the Welford bound")
+	}
+	for ri, row := range full.Rows {
+		mrow := merged.Rows[ri]
+		if mrow.Key != row.Key || mrow.Counts["deadline_misses"] != row.Counts["deadline_misses"] {
+			t.Fatalf("row %d identity differs: %+v vs %+v", ri, mrow, row)
+		}
+		for name, cell := range row.Cells {
+			m := mrow.Cells[name]
+			if m.N != cell.N {
+				t.Fatalf("row %q cell %q: n = %d, want %d", row.Key, name, m.N, cell.N)
+			}
+			if math.Abs(m.Mean-cell.Mean) > 1e-9*math.Abs(cell.Mean) {
+				t.Fatalf("row %q cell %q: mean %v vs %v beyond reassociation bound", row.Key, name, m.Mean, cell.Mean)
+			}
+		}
+	}
+}

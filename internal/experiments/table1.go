@@ -19,17 +19,30 @@
 // stochastic sweeps adaptively run additional batches of task-graph sets
 // until the Student-t CI95 half-width of their key metric is tight enough
 // (relative to the mean), bounded by RunOptions.MaxSets.
+//
+// The package's public surface is the experiment registry: every driver
+// registers a Definition under its name and is dispatched through Run with a
+// declarative Spec, returning a structured Report — named rows of metric
+// cells backed by serialisable accumulator state — from which FormatReport
+// renders the historical plain-text tables byte-identically and which
+// marshals to the versioned JSON artifact of cmd/experiments -o. Because set
+// seeds key on absolute set indices, RunOptions.Shard partitions a run
+// exactly across processes; MergeReports recombines the partial Reports
+// (sample replay for the per-set drivers — bit-for-bit; Welford state
+// combination for the scenario grid's chunk-merged cells — exact up to
+// floating-point reassociation). The typed Run*/Format* pairs remain as
+// convenience wrappers over the same aggregation.
 package experiments
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"battsched/internal/optimal"
 	"battsched/internal/priority"
 	"battsched/internal/runner"
-	"battsched/internal/stats"
 	"battsched/internal/tgff"
 )
 
@@ -164,18 +177,44 @@ func table1Job(cfg Table1Config, gen tgff.Config, n, s int) (table1Sample, error
 
 // table1Acc accumulates one row of Table 1 from streamed samples.
 type table1Acc struct {
-	random, ltf, pubs stats.Accumulator
+	random, ltf, pubs metricAcc
 	incomplete        int
 }
 
-// RunTable1 regenerates Table 1. The (task count × graph) grid runs as
+func init() {
+	mustRegister(Definition{
+		Name:      "table1",
+		Title:     "Table 1 — ordering heuristics vs the exhaustive optimal order on single DAGs",
+		Paper:     "Table 1 (Section 3)",
+		Shardable: true,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultTable1Config()
+			if spec.Quick {
+				cfg = QuickTable1Config()
+			}
+			if spec.Seed != 0 {
+				cfg.Seed = spec.Seed
+			}
+			if spec.Sets > 0 {
+				cfg.GraphsPerCount = spec.Sets
+			}
+			if spec.Utilization > 0 {
+				cfg.Utilization = spec.Utilization
+			}
+			cfg.RunOptions = spec.RunOptions
+			return runTable1Report(ctx, cfg)
+		},
+	})
+}
+
+// runTable1Report regenerates Table 1. The (task count × graph) grid runs as
 // independent jobs; each job derives its generator from (Seed, task count,
 // graph index), so rows are identical at any parallelism. Samples stream
 // back in job order and fold directly into per-row accumulators; with
 // RunOptions.TargetCI set, additional batches of DAGs are generated per task
 // count until the relative CI95 of every normalised-energy column (the key
 // metric) converges or MaxSets DAGs per count were used.
-func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
+func runTable1Report(ctx context.Context, cfg Table1Config) (*Report, error) {
 	if len(cfg.TaskCounts) == 0 || cfg.GraphsPerCount <= 0 || cfg.FMax <= 0 ||
 		cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
@@ -192,20 +231,22 @@ func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 			// stream does not depend on the batch layout.
 			return table1Job(cfg, gen, cfg.TaskCounts[c[0]], lo+c[1])
 		}, func(idx int, sample table1Sample) error {
-			a := &accs[grid.Coords(idx)[0]]
+			c := grid.Coords(idx)
+			a := &accs[c[0]]
 			if sample.incomplete {
 				a.incomplete++
 			}
 			if sample.ok {
-				a.random.Add(sample.random)
-				a.ltf.Add(sample.ltf)
-				a.pubs.Add(sample.pubs)
+				graph := lo + c[1]
+				a.random.Add(graph, sample.random)
+				a.ltf.Add(graph, sample.ltf)
+				a.pubs.Add(graph, sample.pubs)
 			}
 			return nil
 		})
 	}, func() bool {
 		for i := range accs {
-			if !converged(cfg.TargetCI, &accs[i].random, &accs[i].ltf, &accs[i].pubs) {
+			if !converged(cfg.TargetCI, &accs[i].random.acc, &accs[i].ltf.acc, &accs[i].pubs.acc) {
 				return false
 			}
 		}
@@ -215,17 +256,63 @@ func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 		return nil, err
 	}
 
-	rows := make([]Table1Row, 0, len(cfg.TaskCounts))
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "table1",
+		Meta: map[string]string{
+			"seed":             strconv.FormatInt(cfg.Seed, 10),
+			"graphs_per_count": strconv.Itoa(cfg.GraphsPerCount),
+			"utilization":      formatFloat(cfg.Utilization),
+			"edge_probability": formatFloat(cfg.EdgeProbability),
+			"max_expansions":   strconv.Itoa(cfg.MaxExpansions),
+			// Adaptive-stopping knobs: shards run with different settings
+			// cover different sets and must refuse to merge.
+			"target_ci": formatFloat(cfg.TargetCI),
+			"max_sets":  strconv.Itoa(cfg.MaxSets),
+		},
+		Shard: shardInfo(cfg.Shard),
+	}
 	for ci, n := range cfg.TaskCounts {
 		a := &accs[ci]
+		row := ReportRow{
+			Key: strconv.Itoa(n),
+			Cells: map[string]Cell{
+				"random": a.random.Cell(),
+				"ltf":    a.ltf.Cell(),
+				"pubs":   a.pubs.Cell(),
+			},
+		}
+		if a.incomplete > 0 {
+			row.Counts = map[string]int{"incomplete_searches": a.incomplete}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// table1RowsFromReport reconstructs the typed rows from a Report.
+func table1RowsFromReport(r *Report) []Table1Row {
+	rows := make([]Table1Row, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		tasks, _ := strconv.Atoi(row.Key)
 		rows = append(rows, Table1Row{
-			Tasks:              n,
-			Random:             a.random.Mean(),
-			LTF:                a.ltf.Mean(),
-			PUBS:               a.pubs.Mean(),
-			Samples:            a.random.N(),
-			IncompleteSearches: a.incomplete,
+			Tasks:              tasks,
+			Random:             row.Cells["random"].Mean,
+			LTF:                row.Cells["ltf"].Mean,
+			PUBS:               row.Cells["pubs"].Mean,
+			Samples:            row.Cells["random"].N,
+			IncompleteSearches: row.Counts["incomplete_searches"],
 		})
 	}
-	return rows, nil
+	return rows
+}
+
+// RunTable1 regenerates Table 1 and returns its typed rows (see
+// runTable1Report; the registry path returns the Report directly).
+func RunTable1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
+	rep, err := runTable1Report(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return table1RowsFromReport(rep), nil
 }

@@ -4,20 +4,24 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"battsched/internal/battery"
-	"battsched/internal/battery/diffusion"
-	"battsched/internal/battery/kibam"
-	"battsched/internal/battery/peukert"
-	"battsched/internal/battery/stochastic"
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
 	"battsched/internal/runner"
-	"battsched/internal/stats"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
+
+	// The battery model sub-packages self-register with the battery registry
+	// from their init functions; blank imports make every paper model
+	// resolvable by name for all drivers.
+	_ "battsched/internal/battery/diffusion"
+	_ "battsched/internal/battery/kibam"
+	_ "battsched/internal/battery/peukert"
+	_ "battsched/internal/battery/stochastic"
 )
 
 // defaultProcessor returns the paper's processor model.
@@ -27,21 +31,23 @@ func defaultProcessor() *processor.Model { return processor.Default() }
 // stateful, so each simulation needs its own).
 type BatteryFactory func() battery.Model
 
-// NamedBatteryFactory returns the factory for a model name: "stochastic"
-// (the paper's choice), "kibam", "diffusion" or "peukert".
+// NamedBatteryFactory returns the factory for a registered battery model name
+// ("" selects "stochastic", the paper's choice). Unknown names return the
+// registry error listing every valid name.
 func NamedBatteryFactory(name string) (BatteryFactory, error) {
-	switch name {
-	case "", "stochastic":
-		return func() battery.Model { return stochastic.Default() }, nil
-	case "kibam":
-		return func() battery.Model { return kibam.Default() }, nil
-	case "diffusion":
-		return func() battery.Model { return diffusion.Default() }, nil
-	case "peukert":
-		return func() battery.Model { return peukert.Default() }, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown battery model %q", ErrBadConfig, name)
+	if name == "" {
+		name = "stochastic"
 	}
+	if _, err := battery.New(name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return func() battery.Model {
+		m, err := battery.New(name)
+		if err != nil {
+			panic(err) // unreachable: the name was validated above
+		}
+		return m
+	}, nil
 }
 
 // resolveBatteryFactories resolves a list of battery model names, failing on
@@ -69,10 +75,11 @@ type Table2Config struct {
 	Utilization float64
 	// Hyperperiods simulated per set to build the periodic load profile.
 	Hyperperiods int
-	// Battery produces the battery model evaluated (default: the stochastic
-	// model, as in the paper).
+	// Battery produces the battery model evaluated (default: the model
+	// registered under BatteryName).
 	Battery BatteryFactory
-	// BatteryName is the label reported for the battery model.
+	// BatteryName is the registry name of the battery model ("" selects the
+	// paper's stochastic model) and the label reported for it.
 	BatteryName string
 	// OracleEstimates feeds the pUBS priority of the BAS-1/BAS-2 schemes the
 	// true actual requirements instead of history-based estimates (the
@@ -214,20 +221,53 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 }
 
 // table2Agg accumulates one scheme's column of Table 2 from streamed sets.
-type table2Agg struct{ charge, life, energy, current stats.Accumulator }
+type table2Agg struct{ charge, life, energy, current metricAcc }
 
-// RunTable2 regenerates Table 2 for the configured battery model. Each
+func init() {
+	mustRegister(Definition{
+		Name:      "table2",
+		Title:     "Table 2 — charge delivered and battery lifetime of the five scheduling schemes",
+		Paper:     "Table 2 (Section 5)",
+		Shardable: true,
+		Run: func(ctx context.Context, spec Spec) (*Report, error) {
+			cfg := DefaultTable2Config()
+			if spec.Quick {
+				cfg = QuickTable2Config()
+			}
+			if spec.Seed != 0 {
+				cfg.Seed = spec.Seed
+			}
+			if spec.Sets > 0 {
+				cfg.Sets = spec.Sets
+			}
+			if spec.Utilization > 0 {
+				cfg.Utilization = spec.Utilization
+			}
+			if spec.Battery != "" {
+				cfg.BatteryName = spec.Battery
+			}
+			cfg.OracleEstimates = spec.Oracle
+			cfg.RunOptions = spec.RunOptions
+			return runTable2Report(ctx, cfg)
+		},
+	})
+}
+
+// runTable2Report regenerates Table 2 for the configured battery model. Each
 // task-graph set is one job of the runner harness; per-set cells stream back
 // in set order and fold into per-scheme accumulators. With
 // RunOptions.TargetCI set, additional batches of sets run until the relative
 // CI95 of every scheme's battery lifetime (the key metric) converges or
 // MaxSets is reached.
-func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
+func runTable2Report(ctx context.Context, cfg Table2Config) (*Report, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
 	if cfg.Hyperperiods <= 0 {
 		cfg.Hyperperiods = 1
+	}
+	if cfg.BatteryName == "" {
+		cfg.BatteryName = "stochastic"
 	}
 	if cfg.Battery == nil {
 		f, err := NamedBatteryFactory(cfg.BatteryName)
@@ -246,20 +286,21 @@ func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	_, err := runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
 		return runner.RunStream(ctx, hi-lo, cfg.runnerOptions(), func(_ context.Context, i int) ([]table2Cell, error) {
 			// The set index is absolute (lo+i), so the workload seed does
-			// not depend on the batch layout.
+			// not depend on the batch layout or the shard.
 			return table2Job(cfg, proc, schemes, runner.SeedFor(cfg.Seed, int64(lo+i)))
-		}, func(_ int, cells []table2Cell) error {
+		}, func(i int, cells []table2Cell) error {
+			set := lo + i
 			for si, cell := range cells {
-				aggs[si].charge.Add(cell.charge)
-				aggs[si].life.Add(cell.life)
-				aggs[si].energy.Add(cell.energy)
-				aggs[si].current.Add(cell.current)
+				aggs[si].charge.Add(set, cell.charge)
+				aggs[si].life.Add(set, cell.life)
+				aggs[si].energy.Add(set, cell.energy)
+				aggs[si].current.Add(set, cell.current)
 			}
 			return nil
 		})
 	}, func() bool {
 		for i := range aggs {
-			if !converged(cfg.TargetCI, &aggs[i].life) {
+			if !converged(cfg.TargetCI, &aggs[i].life.acc) {
 				return false
 			}
 		}
@@ -269,19 +310,66 @@ func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 		return nil, err
 	}
 
-	rows := make([]Table2Row, len(schemes))
-	for i, s := range schemes {
-		rows[i] = Table2Row{
-			Scheme:                s.name,
-			DVS:                   s.dvsName,
-			Priority:              s.prioName,
-			ReadyList:             s.readyList,
-			ChargeDeliveredMAh:    aggs[i].charge.Mean(),
-			BatteryLifeMin:        aggs[i].life.Mean(),
-			EnergyPerHyperperiodJ: aggs[i].energy.Mean(),
-			AverageCurrentA:       aggs[i].current.Mean(),
-			Sets:                  aggs[i].charge.N(),
-		}
+	rep := &Report{
+		Version:    ReportVersion,
+		Experiment: "table2",
+		Meta: map[string]string{
+			"seed":              strconv.FormatInt(cfg.Seed, 10),
+			"sets":              strconv.Itoa(cfg.Sets),
+			"graphs_per_set":    strconv.Itoa(cfg.GraphsPerSet),
+			"utilization":       formatFloat(cfg.Utilization),
+			"hyperperiods":      strconv.Itoa(cfg.Hyperperiods),
+			"battery":           cfg.BatteryName,
+			"oracle":            strconv.FormatBool(cfg.OracleEstimates),
+			"max_battery_hours": formatFloat(cfg.MaxBatteryHours),
+			// The adaptive-stopping knobs decide which absolute set indices a
+			// shard executes, so partials run with different settings must
+			// refuse to merge (MergeReports compares Meta).
+			"target_ci": formatFloat(cfg.TargetCI),
+			"max_sets":  strconv.Itoa(cfg.MaxSets),
+		},
+		Shard: shardInfo(cfg.Shard),
 	}
-	return rows, nil
+	for i, s := range schemes {
+		rep.Rows = append(rep.Rows, ReportRow{
+			Key:    s.name,
+			Labels: map[string]string{"dvs": s.dvsName, "priority": s.prioName, "ready_list": s.readyList},
+			Cells: map[string]Cell{
+				"charge_mah":    aggs[i].charge.Cell(),
+				"life_min":      aggs[i].life.Cell(),
+				"energy_j":      aggs[i].energy.Cell(),
+				"avg_current_a": aggs[i].current.Cell(),
+			},
+		})
+	}
+	return rep, nil
+}
+
+// table2RowsFromReport reconstructs the typed rows from a Report.
+func table2RowsFromReport(r *Report) []Table2Row {
+	rows := make([]Table2Row, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, Table2Row{
+			Scheme:                row.Key,
+			DVS:                   row.Labels["dvs"],
+			Priority:              row.Labels["priority"],
+			ReadyList:             row.Labels["ready_list"],
+			ChargeDeliveredMAh:    row.Cells["charge_mah"].Mean,
+			BatteryLifeMin:        row.Cells["life_min"].Mean,
+			EnergyPerHyperperiodJ: row.Cells["energy_j"].Mean,
+			AverageCurrentA:       row.Cells["avg_current_a"].Mean,
+			Sets:                  row.Cells["charge_mah"].N,
+		})
+	}
+	return rows
+}
+
+// RunTable2 regenerates Table 2 and returns its typed rows (see
+// runTable2Report; the registry path returns the Report directly).
+func RunTable2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
+	rep, err := runTable2Report(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return table2RowsFromReport(rep), nil
 }

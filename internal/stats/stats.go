@@ -256,6 +256,32 @@ func (a *Accumulator) Merge(b Accumulator) {
 	a.n = n
 }
 
+// State is the serialisable snapshot of an Accumulator: the Welford triple
+// (n, mean, M2) plus the running extrema. JSON round-trips are exact —
+// encoding/json emits the shortest float64 representation that parses back to
+// the identical bits — so an exported State re-imported with FromState behaves
+// bit-for-bit like the original accumulator. Shard/merge experiment runs rely
+// on this to move partial accumulators between processes.
+type State struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator's serialisable state.
+func (a *Accumulator) State() State {
+	return State{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// FromState reconstructs an Accumulator from exported state. The result is
+// indistinguishable from the accumulator that produced s: subsequent Add and
+// Merge calls continue bit-for-bit as if the original had kept running.
+func FromState(s State) Accumulator {
+	return Accumulator{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // N returns the number of observations added.
 func (a *Accumulator) N() int { return a.n }
 

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
@@ -324,5 +325,98 @@ func TestAccumulatorMergeEmpty(t *testing.T) {
 	a.Merge(c)
 	if a.N() != 2 || a.Mean() != 4 {
 		t.Fatalf("filled+empty = %+v", a.Summary())
+	}
+}
+
+// TestStateJSONRoundTrip checks that export -> JSON -> import preserves the
+// accumulator exactly: encoding/json emits the shortest float64 representation
+// that parses back to the identical bits, so n, mean and variance survive
+// bit-for-bit and a re-imported accumulator keeps accumulating as if it had
+// never been serialised.
+func TestStateJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a Accumulator
+	for i := 0; i < 137; i++ {
+		a.Add(rng.NormFloat64()*1e3 + 17)
+	}
+	blob, err := json.Marshal(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s State
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s != a.State() {
+		t.Fatalf("state changed across JSON round-trip:\n%+v\n%+v", s, a.State())
+	}
+	b := FromState(s)
+	if b.N() != a.N() || b.Mean() != a.Mean() || b.StdDev() != a.StdDev() || b.Summary() != a.Summary() {
+		t.Fatalf("re-imported accumulator differs:\n%+v\n%+v", b.Summary(), a.Summary())
+	}
+	// Continuing to accumulate must be bit-identical to the original.
+	a.Add(42.5)
+	b.Add(42.5)
+	if a.State() != b.State() {
+		t.Fatalf("post-import Add diverged:\n%+v\n%+v", a.State(), b.State())
+	}
+}
+
+// TestMergeReimportedPartials checks the shard/merge contract at the stats
+// layer: merging shard partials that went through a JSON round-trip is
+// bit-for-bit identical to merging the original in-memory partials (the
+// serialisation adds nothing). Merging partials is NOT bit-identical to the
+// single-process accumulator that Adds every sample in sequence — Chan et
+// al.'s combination reassociates the Welford update, so mean and M2 may
+// differ by a few ulps; that reassociation bound is asserted here and
+// documented wherever stateless merges are used (the scenario grid). The
+// per-set experiment drivers sidestep it by retaining samples and replaying
+// them at merge time.
+func TestMergeReimportedPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 301)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*250 + 1200
+	}
+
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+
+	bounds := []int{0, 97, 200, len(xs)}
+	var direct, reimported Accumulator
+	for i := 1; i < len(bounds); i++ {
+		var part Accumulator
+		for _, x := range xs[bounds[i-1]:bounds[i]] {
+			part.Add(x)
+		}
+		direct.Merge(part)
+
+		blob, err := json.Marshal(part.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s State
+		if err := json.Unmarshal(blob, &s); err != nil {
+			t.Fatal(err)
+		}
+		reimported.Merge(FromState(s))
+	}
+
+	// Bit-for-bit: serialised partials merge exactly like in-memory partials.
+	if direct.State() != reimported.State() {
+		t.Fatalf("re-imported merge differs from direct merge:\n%+v\n%+v", direct.State(), reimported.State())
+	}
+	// Documented reassociation bound versus the sequential accumulator.
+	const relTol = 1e-12
+	if reimported.N() != whole.N() ||
+		math.Abs(reimported.Mean()-whole.Mean()) > relTol*math.Abs(whole.Mean()) ||
+		math.Abs(reimported.StdDev()-whole.StdDev()) > relTol*whole.StdDev() {
+		t.Fatalf("merged partials beyond reassociation bound:\n%+v\n%+v", reimported.Summary(), whole.Summary())
+	}
+	// Extrema are order-independent and therefore exact.
+	if ws, ms := whole.Summary(), reimported.Summary(); ws.Min != ms.Min || ws.Max != ms.Max {
+		t.Fatalf("extrema differ: %+v vs %+v", ms, ws)
 	}
 }

@@ -78,7 +78,15 @@ type (
 	// other accumulators deterministically — the building block streamed
 	// sweeps fold into.
 	StatsAccumulator = stats.Accumulator
+	// StatsState is the serialisable snapshot of a StatsAccumulator
+	// (n/mean/M2/min/max); JSON round-trips are bit-exact, which is what lets
+	// experiment shard partials move between processes and merge losslessly.
+	StatsState = stats.State
 )
+
+// StatsFromState reconstructs an accumulator from exported state; it keeps
+// accumulating bit-for-bit as if the original had never been serialised.
+func StatsFromState(s StatsState) StatsAccumulator { return stats.FromState(s) }
 
 // DefaultScenarioGridConfig returns a moderate three-utilisation sweep over
 // two battery models and all five paper schemes.
