@@ -18,6 +18,8 @@ import (
 	"battsched/internal/priority"
 	"battsched/internal/processor"
 	"battsched/internal/profile"
+	"battsched/internal/service"
+	"battsched/internal/service/client"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
 	"battsched/internal/trace"
@@ -380,6 +382,8 @@ type (
 	// ExperimentShard selects one shard of a multi-process partition of an
 	// experiment's absolute set indices.
 	ExperimentShard = experiments.Shard
+	// ExperimentShardInfo identifies one shard partial inside a Report.
+	ExperimentShardInfo = experiments.ShardInfo
 )
 
 // RunExperiment executes the registered experiment (see ExperimentNames) with
@@ -431,3 +435,68 @@ func ReadExperimentReports(r io.Reader) ([]*ExperimentReport, error) {
 
 // ParseExperimentShard parses the CLI shard form "i/n" ("" is unsharded).
 func ParseExperimentShard(s string) (ExperimentShard, error) { return experiments.ParseShard(s) }
+
+// CanonicalExperimentSpec returns the stable field-ordered encoding of one
+// (experiment, Spec) pair: exactly the inputs that determine the report
+// bytes, with default-equivalent values normalised and execution-only knobs
+// (parallelism, progress, shard selection) excluded.
+func CanonicalExperimentSpec(name string, spec ExperimentSpec) string {
+	return experiments.CanonicalSpec(name, spec)
+}
+
+// ExperimentSpecHash returns the hex SHA-256 of CanonicalExperimentSpec: the
+// deterministic content address under which the experiment service caches the
+// complete run's report artifact.
+func ExperimentSpecHash(name string, spec ExperimentSpec) string {
+	return experiments.SpecHash(name, spec)
+}
+
+// ValidateExperimentShardCoverage checks that reports form a complete,
+// non-overlapping shard partition of one experiment run, naming missing and
+// duplicated partials (the guard MergeExperimentReports applies before
+// merging).
+func ValidateExperimentShardCoverage(parts []*ExperimentReport) error {
+	return experiments.ValidateShardCoverage(parts)
+}
+
+// Experiment service (see internal/service and cmd/battschedd): a
+// long-running HTTP daemon over the experiment registry with an asynchronous
+// bounded job queue, server-side shard fan-out, and a content-addressed
+// report cache; and its typed client. Artifacts fetched from a daemon are
+// byte-identical to the files the equivalent local `cmd/experiments run -o`
+// writes.
+type (
+	// ExperimentService is the daemon core: construct with
+	// NewExperimentService, expose over HTTP with its Handler method, stop
+	// with Close.
+	ExperimentService = service.Server
+	// ExperimentServiceConfig tunes one daemon (workers, queue bound, cache).
+	ExperimentServiceConfig = service.Config
+	// ExperimentServiceClient is the typed client of a running daemon.
+	ExperimentServiceClient = client.Client
+	// ServiceJobRequest is one job submission (experiment, spec, shards).
+	ServiceJobRequest = service.JobRequest
+	// ServiceJobStatus is a job's state and per-shard progress.
+	ServiceJobStatus = service.JobStatus
+	// ServiceSpecRequest is the JSON wire form of an ExperimentSpec.
+	ServiceSpecRequest = service.SpecRequest
+	// ServiceHealth is the daemon's /healthz snapshot.
+	ServiceHealth = service.Health
+)
+
+// NewExperimentService constructs a daemon and starts its worker pool.
+func NewExperimentService(cfg ExperimentServiceConfig) (*ExperimentService, error) {
+	return service.New(cfg)
+}
+
+// NewExperimentServiceClient returns a client for the daemon at baseURL
+// (e.g. "http://127.0.0.1:8344").
+func NewExperimentServiceClient(baseURL string) *ExperimentServiceClient {
+	return client.New(baseURL)
+}
+
+// ServiceSpecRequestFrom converts an ExperimentSpec into its wire form,
+// dropping the execution-only knobs the daemon owns.
+func ServiceSpecRequestFrom(spec ExperimentSpec) ServiceSpecRequest {
+	return service.SpecRequestFrom(spec)
+}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"battsched"
 )
@@ -299,5 +301,99 @@ func TestPublicAPIStatsState(t *testing.T) {
 	b := battsched.StatsFromState(a.State())
 	if b.N() != 4 || b.Mean() != a.Mean() || b.StdDev() != a.StdDev() {
 		t.Fatalf("StatsFromState mismatch: %+v vs %+v", b.Summary(), a.Summary())
+	}
+}
+
+// TestPublicAPIExperimentService embeds the experiment daemon through the
+// facade: submit a quick Table 2 job in-process over HTTP, wait for it, and
+// check that the fetched artifact matches the local registry run and that a
+// resubmission is served from the content-addressed cache.
+func TestPublicAPIExperimentService(t *testing.T) {
+	srv, err := battsched.NewExperimentService(battsched.ExperimentServiceConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := battsched.ExperimentSpec{Quick: true, Battery: "kibam"}
+	hash := battsched.ExperimentSpecHash("table2", spec)
+	if len(hash) != 64 {
+		t.Fatalf("spec hash = %q", hash)
+	}
+	if enc := battsched.CanonicalExperimentSpec("table2", spec); !strings.Contains(enc, `battery="kibam"`) {
+		t.Fatalf("canonical encoding = %q", enc)
+	}
+
+	ctx := context.Background()
+	c := battsched.NewExperimentServiceClient(ts.URL)
+	st, err := c.Submit(ctx, battsched.ServiceJobRequest{
+		Experiment: "table2", Spec: battsched.ServiceSpecRequestFrom(spec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hash != hash {
+		t.Fatalf("daemon hash %s, facade hash %s", st.Hash, hash)
+	}
+	st, err = c.Wait(ctx, st.ID, 10*time.Millisecond, nil)
+	if err != nil || st.State != "done" {
+		t.Fatalf("wait: %v (state %s: %s)", err, st.State, st.Error)
+	}
+	reports, err := c.Reports(ctx, st.ID)
+	if err != nil || len(reports) != 1 {
+		t.Fatalf("reports: %v (%d)", err, len(reports))
+	}
+	local, err := battsched.RunExperiment(ctx, "table2", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedText, err := battsched.FormatExperimentReport(reports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	localText, err := battsched.FormatExperimentReport(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servedText != localText {
+		t.Fatalf("served table differs from local run:\n%s\n---\n%s", servedText, localText)
+	}
+
+	st2, err := c.Submit(ctx, battsched.ServiceJobRequest{
+		Experiment: "table2", Spec: battsched.ServiceSpecRequestFrom(spec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("resubmission not served from cache")
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+}
+
+// TestPublicAPIShardCoverageValidation checks the facade's coverage guard.
+func TestPublicAPIShardCoverageValidation(t *testing.T) {
+	partial := func(i, n int) *battsched.ExperimentReport {
+		return &battsched.ExperimentReport{
+			Version:    1,
+			Experiment: "table2",
+			Shard:      &battsched.ExperimentShardInfo{Index: i, Count: n},
+		}
+	}
+	if err := battsched.ValidateExperimentShardCoverage(
+		[]*battsched.ExperimentReport{partial(0, 3), partial(2, 3)},
+	); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gap validation err = %v", err)
+	}
+	if err := battsched.ValidateExperimentShardCoverage(
+		[]*battsched.ExperimentReport{partial(0, 2), partial(1, 2)},
+	); err != nil {
+		t.Fatalf("complete partition rejected: %v", err)
 	}
 }

@@ -1,0 +1,111 @@
+// Command battschedd is the experiment service daemon: a long-running HTTP
+// server exposing the experiment registry as an asynchronous job API with
+// server-side shard fan-out and a content-addressed report cache.
+//
+//	battschedd -addr :8344 -workers 2 -cache-dir /var/cache/battsched
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs              submit {"experiment": ..., "spec": {...}, "shards": n}
+//	GET  /v1/jobs/{id}         job state and per-shard progress
+//	GET  /v1/jobs/{id}/report  the versioned JSON report artifact
+//	                           (?format=table renders the plain-text tables)
+//	GET  /v1/experiments       the experiment registry
+//	GET  /v1/batteries         the battery model registry
+//	GET  /healthz              queue depth, in-flight units, cache stats
+//
+// Submitted specs are content-addressed by their canonical hash: a spec whose
+// complete report artifact is already cached — computed by any earlier job,
+// sharded or not, even before a restart when -cache-dir is set — is answered
+// immediately with "cached": true. Fetched artifacts are byte-identical to
+// the files the equivalent local `cmd/experiments run -o` writes.
+//
+// `cmd/experiments submit` drives a daemon with the same flags as local
+// `run`; see EXPERIMENTS.md ("Serving") for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"battsched/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "battschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("battschedd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8344", "HTTP listen address")
+		workers      = fs.Int("workers", 2, "concurrent shard units (the worker-pool size)")
+		queue        = fs.Int("queue", 64, "FIFO queue bound in shard units")
+		parallel     = fs.Int("parallel", 0, "job-grid worker count inside each unit's run (0: all cores)")
+		cacheDir     = fs.String("cache-dir", "", "on-disk content-addressed report store (default: memory-only)")
+		cacheEntries = fs.Int("cache-entries", 64, "in-memory report cache LRU size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	srv, err := service.New(service.Config{
+		Workers:       *workers,
+		QueueCapacity: *queue,
+		Parallel:      *parallel,
+		CacheDir:      *cacheDir,
+		CacheEntries:  *cacheEntries,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, srv, ln)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then shuts down
+// gracefully. Split from run so tests can drive it on an ephemeral port.
+func serve(ctx context.Context, srv *service.Server, ln net.Listener) error {
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("battschedd: serving on %s", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("battschedd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

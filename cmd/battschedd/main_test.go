@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"battsched/internal/service"
+	"battsched/internal/service/client"
+)
+
+// TestServeLifecycle boots the daemon on an ephemeral port, checks /healthz
+// through the typed client, and shuts it down through context cancellation.
+func TestServeLifecycle(t *testing.T) {
+	srv, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln) }()
+
+	c := client.New("http://" + ln.Addr().String())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := c.Health(context.Background())
+		if err == nil {
+			if h.Status != "ok" {
+				t.Fatalf("health = %+v", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestRunFlagErrors covers the flag error paths.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"trailing"}); err == nil {
+		t.Fatal("expected positional-argument error")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:99999"}); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

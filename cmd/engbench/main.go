@@ -21,20 +21,32 @@
 // root-finding) where the model supports it. CI tracks the speedup to catch
 // fast-path regressions.
 //
+// The service report (BENCH_service.json, -service-o): BenchmarkServiceSubmit
+// — end-to-end latency of submitting a quick Table 2 spec to an in-process
+// experiment daemon (internal/service behind a real HTTP listener, driven
+// through the typed client), comparing the cold path (full compute through
+// the job queue) against the content-addressed cache hit of resubmitting the
+// identical spec. CI tracks the hit latency and the speedup to catch cache
+// and queue-path regressions.
+//
 // Usage:
 //
 //	engbench                              # engine JSON on stdout
 //	engbench -o BENCH_engine.json
 //	engbench -engine=false -battery-o BENCH_battery.json
+//	engbench -engine=false -service-o BENCH_service.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"testing"
+	"time"
 
 	"battsched/internal/battery"
 	"battsched/internal/battery/diffusion"
@@ -45,6 +57,8 @@ import (
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/profile"
+	"battsched/internal/service"
+	"battsched/internal/service/client"
 	"battsched/internal/taskgraph"
 	"battsched/internal/tgff"
 )
@@ -153,6 +167,81 @@ func benchBattery() batteryReport {
 	return rep
 }
 
+// serviceReport is the emitted BENCH_service.json document.
+type serviceReport struct {
+	Benchmark string `json:"benchmark"`
+	Spec      string `json:"spec"`
+	// ColdMs is the end-to-end latency of the first submission: queue wait,
+	// full experiment compute, merge, artifact render and fetch.
+	ColdMs float64 `json:"cold_ms"`
+	// CacheHitMs is the mean end-to-end latency of resubmitting the identical
+	// spec: HTTP round-trips plus the content-addressed cache lookup.
+	CacheHitMs float64 `json:"cache_hit_ms"`
+	// CacheHitOps is the number of measured cache-hit submissions.
+	CacheHitOps int `json:"cache_hit_ops"`
+	// Speedup is ColdMs / CacheHitMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchService is BenchmarkServiceSubmit: cold versus cache-hit latency of
+// one quick Table 2 spec submitted to an in-process experiment daemon over
+// real HTTP.
+func benchService() serviceReport {
+	srv, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cli := client.New(ts.URL)
+	ctx := context.Background()
+	req := service.JobRequest{
+		Experiment: "table2",
+		Spec:       service.SpecRequest{Quick: true, Battery: "kibam"},
+	}
+
+	submit := func() {
+		st, err := cli.Submit(ctx, req)
+		if err == nil {
+			st, err = cli.Wait(ctx, st.ID, 5*time.Millisecond, nil)
+		}
+		if err == nil && st.State != service.StateDone {
+			err = fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		if err == nil {
+			_, err = cli.ReportArtifact(ctx, st.ID)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "engbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	submit() // cold: computes and populates the cache
+	cold := time.Since(start)
+
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			submit() // every further submission is a cache hit
+		}
+	})
+	hit := float64(r.T.Nanoseconds()) / float64(r.N) / 1e6
+	rep := serviceReport{
+		Benchmark:   "ServiceSubmit/quick-table2-kibam",
+		Spec:        `{"experiment":"table2","spec":{"quick":true,"battery":"kibam"}}`,
+		ColdMs:      float64(cold.Nanoseconds()) / 1e6,
+		CacheHitMs:  hit,
+		CacheHitOps: r.N,
+	}
+	if hit > 0 {
+		rep.Speedup = rep.ColdMs / hit
+	}
+	return rep
+}
+
 // writeJSON marshals doc and writes it to path ("" selects stdout).
 func writeJSON(doc any, path string) {
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -175,6 +264,7 @@ func main() {
 	out := flag.String("o", "", "write the engine JSON report to this file (default stdout)")
 	engine := flag.Bool("engine", true, "run the engine benchmark")
 	batteryOut := flag.String("battery-o", "", "also run the battery lifetime benchmark and write its JSON report to this file (\"-\" selects stdout)")
+	serviceOut := flag.String("service-o", "", "also run BenchmarkServiceSubmit (cold vs cache-hit daemon latency) and write its JSON report to this file (\"-\" selects stdout)")
 	graphs := flag.Int("graphs", 5, "task graphs in the benchmark workload")
 	flag.Parse()
 
@@ -184,6 +274,13 @@ func main() {
 			path = ""
 		}
 		writeJSON(benchBattery(), path)
+	}
+	if *serviceOut != "" {
+		path := *serviceOut
+		if path == "-" {
+			path = ""
+		}
+		writeJSON(benchService(), path)
 	}
 	if !*engine {
 		return

@@ -3,6 +3,10 @@
 //
 //	experiments list                     show every registered experiment
 //	experiments run <name>... [flags]    run experiments by registry name
+//	experiments submit <name>... -server URL [flags]
+//	                                     run experiments on a remote
+//	                                     battschedd daemon (-shards n fans
+//	                                     each job out server-side)
 //	experiments merge [-o out] a.json b.json...
 //	                                     merge shard partials and render the
 //	                                     combined tables
@@ -41,6 +45,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -49,6 +54,8 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/service"
+	"battsched/internal/service/client"
 )
 
 func main() {
@@ -161,6 +168,8 @@ func run(args []string, stdout io.Writer) error {
 		switch args[0] {
 		case "run":
 			return cmdRun(args[1:], stdout)
+		case "submit":
+			return cmdSubmit(args[1:], stdout)
 		case "merge":
 			return cmdMerge(args[1:], stdout)
 		case "list":
@@ -175,7 +184,7 @@ func run(args []string, stdout io.Writer) error {
 
 // cmdList prints the registered experiments.
 func cmdList(stdout io.Writer) error {
-	fmt.Fprintln(stdout, "usage: experiments run <name>... [flags] | experiments merge [-o out] shard.json... | experiments list")
+	fmt.Fprintln(stdout, "usage: experiments run <name>... [flags] | experiments submit <name>... -server URL [flags] | experiments merge [-o out] shard.json... | experiments list")
 	fmt.Fprintln(stdout, "\nregistered experiments (run \"all\" selects the paper set: table1 figure6 table2 curve):")
 	for _, name := range experiments.Names() {
 		d, err := experiments.Lookup(name)
@@ -195,11 +204,7 @@ func cmdList(stdout io.Writer) error {
 // cmdRun executes `run <name>... [flags]`: experiment names are the leading
 // non-flag arguments and dispatch data-driven through the registry.
 func cmdRun(args []string, stdout io.Writer) error {
-	var names []string
-	for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		names = append(names, args[0])
-		args = args[1:]
-	}
+	names, args := leadingNames(args)
 	if len(names) == 0 {
 		return fmt.Errorf("run: no experiments named (try \"experiments list\")")
 	}
@@ -212,7 +217,16 @@ func cmdRun(args []string, stdout io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("run: experiment names must precede the flags (unexpected %q)", fs.Arg(0))
 	}
-	// Expand "all" and validate every name before running anything.
+	expanded, err := expandNames(names)
+	if err != nil {
+		return err
+	}
+	return execute(expanded, f, stdout)
+}
+
+// expandNames expands "all" to the paper set, validates every name against
+// the registry and drops duplicates, preserving order.
+func expandNames(names []string) ([]string, error) {
 	var expanded []string
 	seen := map[string]bool{}
 	for _, name := range names {
@@ -222,7 +236,7 @@ func cmdRun(args []string, stdout io.Writer) error {
 		}
 		for _, n := range group {
 			if _, err := experiments.Lookup(n); err != nil {
-				return err
+				return nil, err
 			}
 			if !seen[n] {
 				seen[n] = true
@@ -230,7 +244,151 @@ func cmdRun(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	return execute(expanded, f, stdout)
+	return expanded, nil
+}
+
+// leadingNames splits the leading non-flag arguments (experiment names) off
+// args.
+func leadingNames(args []string) ([]string, []string) {
+	var names []string
+	for len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		names = append(names, args[0])
+		args = args[1:]
+	}
+	return names, args
+}
+
+// cmdSubmit drives a remote experiment daemon (cmd/battschedd) with the same
+// selection and spec flags as local run: each named experiment is submitted
+// as one job (-shards n fans it out over n server-side shard units), polled
+// to completion, rendered like run renders local reports, and written with
+// -o as a report artifact. A single-experiment -o file is the daemon's
+// artifact byte-for-byte — identical to the file the equivalent local
+// `run -o` writes.
+func cmdSubmit(args []string, stdout io.Writer) error {
+	names, args := leadingNames(args)
+	if len(names) == 0 {
+		return fmt.Errorf("submit: no experiments named (try \"experiments list\")")
+	}
+	fs := flag.NewFlagSet("experiments submit", flag.ContinueOnError)
+	var f runnerFlags
+	f.register(fs)
+	server := fs.String("server", "http://127.0.0.1:8344", "experiment service base URL")
+	shards := fs.Int("shards", 0, "fan each job out over this many server-side shard units (0 or 1: unsharded)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "job status poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("submit: experiment names must precede the flags (unexpected %q)", fs.Arg(0))
+	}
+	if f.shard != "" {
+		return fmt.Errorf("submit: -shard selects a local shard slice; use -shards n to fan out on the service")
+	}
+	if f.parallel != 0 {
+		return fmt.Errorf("submit: -parallel is daemon-owned (start battschedd with -parallel)")
+	}
+	spec, err := f.spec()
+	if err != nil {
+		return err
+	}
+	expanded, err := expandNames(names)
+	if err != nil {
+		return err
+	}
+	// Fail fast on a non-shardable selection before submitting anything.
+	for _, name := range expanded {
+		d, err := experiments.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if *shards > 1 && !d.Shardable {
+			return fmt.Errorf("submit: experiment %q is deterministic and does not shard (drop it or -shards)", name)
+		}
+	}
+
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	cli := client.New(*server)
+	reqSpec := service.SpecRequestFrom(spec)
+	// Submit every job up front — the daemon's queue is asynchronous, so a
+	// multi-experiment submission runs concurrently on its worker pool — then
+	// poll and render in submission order to keep the output deterministic.
+	type submission struct {
+		name  string
+		id    string
+		start time.Time
+	}
+	subs := make([]submission, 0, len(expanded))
+	for _, name := range expanded {
+		st, err := cli.Submit(ctx, service.JobRequest{Experiment: name, Spec: reqSpec, Shards: *shards})
+		if err != nil {
+			return err
+		}
+		subs = append(subs, submission{name: name, id: st.ID, start: time.Now()})
+	}
+	var (
+		artifacts [][]byte
+		all       []*experiments.Report
+	)
+	for _, sub := range subs {
+		name := sub.name
+		cb, clear := progressPrinter(name, f.progress)
+		st, err := cli.Wait(ctx, sub.id, *poll, func(s service.JobStatus) {
+			if cb == nil {
+				return
+			}
+			done, total := 0, 0
+			for _, sh := range s.Shards {
+				done += sh.Done
+				total += sh.Total
+			}
+			if total > 0 {
+				cb(done, total)
+			}
+		})
+		clear()
+		if err != nil {
+			return err
+		}
+		if st.State == service.StateFailed {
+			return fmt.Errorf("submit: job %s (%s) failed: %s", st.ID, name, st.Error)
+		}
+		if st.Cached {
+			fmt.Fprintf(os.Stderr, "experiments: %s served from cache (%.12s)\n", name, st.Hash)
+		}
+		raw, err := cli.ReportArtifact(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		reports, err := experiments.ReadArtifact(bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			out, err := experiments.FormatReport(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(stdout, out)
+			fmt.Fprint(stdout, experiments.Footer(rep, time.Since(sub.start)))
+		}
+		artifacts = append(artifacts, raw)
+		all = append(all, reports...)
+	}
+	if f.out == "" {
+		return nil
+	}
+	if len(artifacts) == 1 {
+		// One job: keep the daemon's artifact bytes verbatim (the
+		// byte-identity contract with the local run -o file).
+		return os.WriteFile(f.out, artifacts[0], 0o644)
+	}
+	return writeArtifactFile(f.out, all)
 }
 
 // execute runs the named experiments in order, prints each rendered table and
@@ -328,7 +486,7 @@ func cmdMerge(args []string, stdout io.Writer) error {
 	}
 	// The first artifact fixes the experiment order; every artifact must
 	// contribute exactly one partial per experiment.
-	var merged []*experiments.Report
+	groups := make([][]*experiments.Report, len(byFile[0]))
 	for ri, first := range byFile[0] {
 		parts := make([]*experiments.Report, 0, len(byFile))
 		for fi, reports := range byFile {
@@ -338,6 +496,18 @@ func cmdMerge(args []string, stdout io.Writer) error {
 			}
 			parts = append(parts, reports[ri])
 		}
+		groups[ri] = parts
+	}
+	// Validate shard coverage of every experiment up front — a missing or
+	// duplicated partial anywhere must fail the whole merge before any table
+	// is printed, not after experiment 1's output already scrolled by.
+	for _, parts := range groups {
+		if err := experiments.ValidateShardCoverage(parts); err != nil {
+			return err
+		}
+	}
+	var merged []*experiments.Report
+	for _, parts := range groups {
 		start := time.Now()
 		rep, err := experiments.MergeReports(parts)
 		if err != nil {

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"battsched/internal/experiments"
+	"battsched/internal/service"
 )
 
 func TestRunQuickAll(t *testing.T) {
@@ -226,5 +228,139 @@ func TestTimeoutFlag(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "deadline") {
 		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// fakeShardArtifact writes an artifact holding one minimal shard partial
+// (coverage validation runs before any cell is touched).
+func fakeShardArtifact(t *testing.T, dir, name string, index, count int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	rep := &experiments.Report{
+		Version:    experiments.ReportVersion,
+		Experiment: "table2",
+		Shard:      &experiments.ShardInfo{Index: index, Count: count},
+	}
+	if err := experiments.WriteArtifact(file, []*experiments.Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeRejectsGapAndDuplicate is the CLI guarantee behind shard fleets:
+// merging with a forgotten partial (gap) or the same partial twice
+// (duplicate) fails loudly, naming the shard, instead of silently averaging
+// wrong tables.
+func TestMergeRejectsGapAndDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	s0 := fakeShardArtifact(t, dir, "s0.json", 0, 3)
+	s2 := fakeShardArtifact(t, dir, "s2.json", 2, 3)
+
+	var buf bytes.Buffer
+	err := run([]string{"merge", s0, s2}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "missing partial(s) 1/3") {
+		t.Fatalf("gap merge err = %v, want missing-shard error", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("gap merge printed output before failing:\n%s", buf.String())
+	}
+
+	a0 := fakeShardArtifact(t, dir, "a0.json", 0, 2)
+	b0 := fakeShardArtifact(t, dir, "b0.json", 0, 2)
+	err = run([]string{"merge", a0, b0}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("duplicate merge err = %v, want overlapping-shard error", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("duplicate merge printed output before failing:\n%s", buf.String())
+	}
+}
+
+// startTestDaemon spins an in-process experiment daemon for submit tests.
+func startTestDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+// TestSubmitMatchesLocalRun is the CLI end of the serving contract: submit
+// against a daemon — unsharded and with -shards 2 — prints the same tables
+// as local run and writes a byte-identical -o artifact.
+func TestSubmitMatchesLocalRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon round-trips skipped in -short mode")
+	}
+	url := startTestDaemon(t)
+	dir := t.TempDir()
+
+	localOut := filepath.Join(dir, "local.json")
+	var local bytes.Buffer
+	if err := run([]string{"run", "table2", "-quick", "-battery", "kibam", "-o", localOut}, &local); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, extra := range [][]string{nil, {"-shards", "2"}} {
+		servedOut := filepath.Join(dir, "served.json")
+		args := append([]string{"submit", "table2", "-quick", "-battery", "kibam",
+			"-server", url, "-poll", "10ms", "-o", servedOut}, extra...)
+		var served bytes.Buffer
+		if err := run(args, &served); err != nil {
+			t.Fatal(err)
+		}
+		if stripTimings(local.String()) != stripTimings(served.String()) {
+			t.Fatalf("case %d: submit tables differ from local run:\n--- local ---\n%s\n--- served ---\n%s",
+				i, local.String(), served.String())
+		}
+		got, err := os.ReadFile(servedOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: submit -o artifact differs from local run -o", i)
+		}
+	}
+}
+
+// TestSubmitErrors covers the submit flag and validation error paths without
+// needing a daemon.
+func TestSubmitErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"submit"}, &buf); err == nil {
+		t.Fatal("expected error for submit without names")
+	}
+	if err := run([]string{"submit", "bogus"}, &buf); err == nil || !strings.Contains(err.Error(), "table2") {
+		t.Fatalf("unknown experiment error should list registered names, got %v", err)
+	}
+	if err := run([]string{"submit", "table2", "-shard", "0/2"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("submit -shard should point at -shards, got %v", err)
+	}
+	if err := run([]string{"submit", "table2", "-parallel", "4"}, &buf); err == nil {
+		t.Fatal("expected error for daemon-owned -parallel")
+	}
+	if err := run([]string{"submit", "curve", "-shards", "2"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "curve") {
+		t.Fatalf("sharded submit of the curve should fail fast, got %v", err)
+	}
+	// Unreachable daemon: the transport error must surface.
+	if err := run([]string{"submit", "table2", "-quick", "-server", "http://127.0.0.1:1", "-poll", "1ms"}, &buf); err == nil {
+		t.Fatal("expected transport error for unreachable daemon")
 	}
 }

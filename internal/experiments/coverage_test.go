@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakePartial builds a minimal shard partial for coverage validation tests
+// (coverage is checked before any cell is touched, so empty rows suffice).
+func fakePartial(experiment string, index, count int) *Report {
+	return &Report{
+		Version:    ReportVersion,
+		Experiment: experiment,
+		Shard:      &ShardInfo{Index: index, Count: count},
+	}
+}
+
+// TestValidateShardCoverageGap pins the forgotten-shard failure mode: a
+// merge missing one partial of the partition must error naming the missing
+// shard instead of silently averaging a subset of the run.
+func TestValidateShardCoverageGap(t *testing.T) {
+	err := ValidateShardCoverage([]*Report{
+		fakePartial("table2", 0, 3),
+		fakePartial("table2", 2, 3),
+	})
+	if err == nil {
+		t.Fatal("expected error for missing shard 1/3")
+	}
+	if !strings.Contains(err.Error(), "missing partial(s) 1/3") {
+		t.Fatalf("gap error should name the missing shard, got %v", err)
+	}
+}
+
+// TestValidateShardCoverageDuplicate pins the overlap failure mode: the same
+// shard supplied twice must error naming the duplicated shard.
+func TestValidateShardCoverageDuplicate(t *testing.T) {
+	err := ValidateShardCoverage([]*Report{
+		fakePartial("table2", 0, 2),
+		fakePartial("table2", 0, 2),
+	})
+	if err == nil {
+		t.Fatal("expected error for duplicated shard 0/2")
+	}
+	if !strings.Contains(err.Error(), "overlapping") || !strings.Contains(err.Error(), "0/2") {
+		t.Fatalf("duplicate error should name the overlapping shard, got %v", err)
+	}
+	// A duplicate that also leaves a gap reports the overlap (the stronger
+	// signal that two fleets' artifacts were mixed up).
+	err = ValidateShardCoverage([]*Report{
+		fakePartial("table2", 1, 2),
+		fakePartial("table2", 1, 2),
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("expected overlap error, got %v", err)
+	}
+}
+
+// TestValidateShardCoverageMixedRuns covers partials from runs with different
+// shard counts and complete (unsharded) reports.
+func TestValidateShardCoverageMixedRuns(t *testing.T) {
+	if err := ValidateShardCoverage([]*Report{
+		fakePartial("table2", 0, 2),
+		fakePartial("table2", 1, 3),
+	}); err == nil || !strings.Contains(err.Error(), "different runs") {
+		t.Fatalf("expected mixed-count error, got %v", err)
+	}
+	complete := &Report{Version: ReportVersion, Experiment: "table2"}
+	if err := ValidateShardCoverage([]*Report{complete}); err == nil ||
+		!strings.Contains(err.Error(), "not a shard partial") {
+		t.Fatalf("expected non-partial error, got %v", err)
+	}
+	if err := ValidateShardCoverage(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if err := ValidateShardCoverage([]*Report{
+		fakePartial("table2", 0, 2),
+		fakePartial("table2", 1, 2),
+	}); err != nil {
+		t.Fatalf("complete partition rejected: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ResultsVersion identifies the numeric behaviour of the experiment drivers
+// and the simulation stack beneath them. Bump it whenever a change alters any
+// driver's report bytes for an unchanged Spec — i.e. whenever golden outputs
+// are regenerated (as PR 3's analytic battery fast path did) — so that
+// artifacts a persistent daemon cache stored under the old behaviour stop
+// matching new submissions instead of being served stale. Schema-only changes
+// are covered separately by ReportVersion.
+const ResultsVersion = 1
+
+// CanonicalSpec returns the canonical, stable field-ordered encoding of one
+// (experiment, Spec) pair: a fixed sequence of key=value lines covering
+// exactly the inputs that determine the experiment's Report bytes. Two
+// submissions with equal canonical encodings compute byte-identical complete
+// reports, which is what makes the encoding (through SpecHash) usable as a
+// content-address for cached report artifacts.
+//
+// Execution-only knobs are excluded on purpose: Parallel and Progress never
+// change the output (every driver is byte-identical at any worker count), and
+// Shard selects a slice of the run rather than a different run — the hash
+// identifies the complete (merged) result, so a sharded and an unsharded
+// submission of the same spec share one address. Default-equivalent values
+// are normalised where the drivers define them: Seed 0 encodes as the default
+// seed 1, and MaxSets encodes as 0 when TargetCI is unset (adaptive stopping
+// disabled makes the cap inert). The encoding also pins ReportVersion (the
+// artifact schema) and ResultsVersion (the numeric behaviour), so a schema
+// bump or a golden-changing code change invalidates every previously cached
+// artifact.
+//
+// The normalisation is deliberately conservative: distinct encodings may
+// still compute identical reports (Utilization 0 selects each driver's
+// default, for example), which costs a cache miss, never a wrong hit.
+func CanonicalSpec(experiment string, spec Spec) string {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	maxSets := spec.MaxSets
+	if spec.TargetCI <= 0 {
+		maxSets = 0
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "report_version=%d\n", ReportVersion)
+	fmt.Fprintf(&b, "results_version=%d\n", ResultsVersion)
+	fmt.Fprintf(&b, "experiment=%q\n", experiment)
+	fmt.Fprintf(&b, "quick=%t\n", spec.Quick)
+	fmt.Fprintf(&b, "seed=%d\n", seed)
+	fmt.Fprintf(&b, "sets=%d\n", spec.Sets)
+	fmt.Fprintf(&b, "utilization=%s\n", formatFloat(spec.Utilization))
+	fmt.Fprintf(&b, "battery=%q\n", spec.Battery)
+	fmt.Fprintf(&b, "oracle=%t\n", spec.Oracle)
+	fmt.Fprintf(&b, "ccedf=%t\n", spec.CCEDF)
+	fmt.Fprintf(&b, "maxstep=%s\n", formatFloat(spec.MaxStep))
+	fmt.Fprintf(&b, "target_ci=%s\n", formatFloat(spec.TargetCI))
+	fmt.Fprintf(&b, "max_sets=%s\n", strconv.Itoa(maxSets))
+	return b.String()
+}
+
+// SpecHash returns the hex-encoded SHA-256 of CanonicalSpec(experiment, spec):
+// the deterministic content address of the complete run's report artifact.
+// See CanonicalSpec for exactly which fields participate and how defaults are
+// normalised.
+func SpecHash(experiment string, spec Spec) string {
+	sum := sha256.Sum256([]byte(CanonicalSpec(experiment, spec)))
+	return hex.EncodeToString(sum[:])
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"maps"
 	"sort"
+	"strings"
 
 	"battsched/internal/stats"
 )
@@ -148,44 +149,78 @@ func mergeCells(parts []Cell) (Cell, error) {
 	return Cell{State: acc.State()}, nil
 }
 
+// ValidateShardCoverage checks that parts are the complete, non-overlapping
+// shard partition of exactly one experiment run: every part is a partial of
+// the same experiment and schema version, all partials agree on the shard
+// count n, and each shard index 0..n-1 is supplied exactly once. Missing and
+// duplicated shards are reported by name — a forgotten partial must fail
+// loudly here, because merging an incomplete partition would silently average
+// over a subset of the run's set indices and emit wrong tables.
+func ValidateShardCoverage(parts []*Report) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("experiments: no reports to merge")
+	}
+	first := parts[0]
+	for _, p := range parts {
+		if p.Version != ReportVersion {
+			return fmt.Errorf("experiments: report version %d, want %d", p.Version, ReportVersion)
+		}
+		if p.Experiment != first.Experiment {
+			return fmt.Errorf("experiments: cannot merge %q with %q", p.Experiment, first.Experiment)
+		}
+		if p.Shard == nil {
+			return fmt.Errorf("experiments: %q report is not a shard partial (complete runs do not merge)", p.Experiment)
+		}
+	}
+	count := first.Shard.Count
+	seen := make(map[int]int)
+	for _, p := range parts {
+		if p.Shard.Count != count {
+			return fmt.Errorf("experiments: %q mixes partials of different runs (shard %d/%d vs %d/%d)",
+				first.Experiment, p.Shard.Index, p.Shard.Count, first.Shard.Index, count)
+		}
+		if p.Shard.Index < 0 || p.Shard.Index >= count {
+			return fmt.Errorf("experiments: %q has corrupt shard %d/%d", first.Experiment, p.Shard.Index, count)
+		}
+		seen[p.Shard.Index]++
+	}
+	var missing, dup []string
+	for i := 0; i < count; i++ {
+		switch {
+		case seen[i] == 0:
+			missing = append(missing, fmt.Sprintf("%d/%d", i, count))
+		case seen[i] > 1:
+			dup = append(dup, fmt.Sprintf("%d/%d (x%d)", i, count, seen[i]))
+		}
+	}
+	if len(dup) > 0 {
+		return fmt.Errorf("experiments: %q has overlapping shard partials: %s supplied more than once",
+			first.Experiment, strings.Join(dup, ", "))
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("experiments: %q shard coverage is incomplete: missing partial(s) %s",
+			first.Experiment, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
 // MergeReports combines the shard partials of one experiment run (in any
 // order) into the report of the complete run. Every shard 0..Count-1 must be
-// present exactly once and the partials must agree on experiment, version,
-// configuration fingerprint (Meta) and row structure. Per-set cells merge
-// exactly (sample replay); state-only cells merge with the documented Welford
-// reassociation bound; counts sum.
+// present exactly once (ValidateShardCoverage) and the partials must agree on
+// experiment, version, configuration fingerprint (Meta) and row structure.
+// Per-set cells merge exactly (sample replay); state-only cells merge with
+// the documented Welford reassociation bound; counts sum.
 func MergeReports(parts []*Report) (*Report, error) {
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("experiments: no reports to merge")
+	if err := ValidateShardCoverage(parts); err != nil {
+		return nil, err
 	}
 	sorted := make([]*Report, len(parts))
 	copy(sorted, parts)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		si, sj := sorted[i].Shard, sorted[j].Shard
-		if si == nil || sj == nil {
-			return sj == nil && si != nil
-		}
-		return si.Index < sj.Index
+		return sorted[i].Shard.Index < sorted[j].Shard.Index
 	})
 	first := sorted[0]
-	for i, p := range sorted {
-		if p.Version != ReportVersion {
-			return nil, fmt.Errorf("experiments: report version %d, want %d", p.Version, ReportVersion)
-		}
-		if p.Experiment != first.Experiment {
-			return nil, fmt.Errorf("experiments: cannot merge %q with %q", p.Experiment, first.Experiment)
-		}
-		if p.Shard == nil {
-			return nil, fmt.Errorf("experiments: %q report is not a shard partial", p.Experiment)
-		}
-		if p.Shard.Count != len(sorted) {
-			return nil, fmt.Errorf("experiments: %q shard %d/%d merged with %d partial(s)",
-				p.Experiment, p.Shard.Index, p.Shard.Count, len(sorted))
-		}
-		if p.Shard.Index != i {
-			return nil, fmt.Errorf("experiments: %q shards are not a complete 0..%d partition (saw index %d twice or missing)",
-				p.Experiment, len(sorted)-1, p.Shard.Index)
-		}
+	for _, p := range sorted {
 		if !maps.Equal(p.Meta, first.Meta) {
 			return nil, fmt.Errorf("experiments: %q shard %d was run with a different configuration (meta %v vs %v)",
 				p.Experiment, p.Shard.Index, p.Meta, first.Meta)

@@ -302,11 +302,15 @@ func RunStream[T any](ctx context.Context, n int, opts Options, job func(ctx con
 	}()
 
 	// Emit loop (on the caller's goroutine): deliver results in job order.
+	// ctx is consulted directly (not only through the watcher goroutine's
+	// aborted flag) so a cancellation triggered from inside emit is observed
+	// before the next delivery: no callback ever fires after ctx is
+	// cancelled, even for results already buffered in the reorder window.
 	for next < n {
 		var t T
 		mu.Lock()
 		for {
-			if aborted {
+			if aborted || ctx.Err() != nil {
 				mu.Unlock()
 				goto drained
 			}

@@ -441,3 +441,45 @@ func TestRunStreamZeroAndNegative(t *testing.T) {
 		t.Fatal("negative job count accepted")
 	}
 }
+
+// TestRunStreamCancelAfterKResults pins the mid-stream cancellation contract
+// precisely: cancelling the context from inside the emit callback after K
+// delivered results stops the stream at exactly K — no further callback ever
+// fires (even for results already buffered in the reorder window), every
+// worker drains before RunStream returns, the sweep never runs the remaining
+// jobs, and the returned error is ctx.Err().
+func TestRunStreamCancelAfterKResults(t *testing.T) {
+	const n, k = 500, 9
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var inFlight, started, emitted atomic.Int64
+	err := RunStream(ctx, n, Options{Parallelism: 4}, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		return i * i, nil
+	}, func(i, v int) error {
+		if ctx.Err() != nil {
+			t.Errorf("emit(%d) fired after cancellation", i)
+		}
+		if v != i*i {
+			t.Errorf("emit(%d) = %d, want %d", i, v, i*i)
+		}
+		if emitted.Add(1) == k {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil || err != ctx.Err() {
+		t.Fatalf("err = %v, want ctx.Err() (%v)", err, ctx.Err())
+	}
+	if got := emitted.Load(); got != k {
+		t.Fatalf("emitted %d results after cancelling at %d", got, k)
+	}
+	if inFlight.Load() != 0 {
+		t.Fatal("workers did not drain before RunStream returned")
+	}
+	if got := started.Load(); got >= n {
+		t.Fatalf("cancellation did not stop the sweep (all %d jobs started)", got)
+	}
+}

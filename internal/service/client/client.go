@@ -1,0 +1,186 @@
+// Package client is the typed Go client of the experiment service daemon
+// (internal/service, cmd/battschedd). It speaks the /v1 JSON API and returns
+// the same structured Reports the local experiment registry produces, so a
+// program can switch between in-process runs and a remote daemon without
+// changing its result handling. `cmd/experiments submit` is built on it; the
+// battsched facade re-exports it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"battsched/internal/experiments"
+	"battsched/internal/service"
+)
+
+// Client talks to one experiment daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8344"). A trailing slash is stripped.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the daemon's error message.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("experiment service: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// do performs one JSON request. A non-2xx response decodes into *APIError;
+// out may be nil to discard the body, or *[]byte to capture it verbatim.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	switch out := out.(type) {
+	case nil:
+		return nil
+	case *[]byte:
+		*out = data
+		return nil
+	default:
+		return json.Unmarshal(data, out)
+	}
+}
+
+// Submit posts one job and returns its initial status — State done with
+// Cached set when the daemon answered from the report cache, queued
+// otherwise.
+func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls the job every poll interval (<= 0 selects 200 ms) until it
+// reaches a terminal state (done or failed) and returns that status; observe,
+// when non-nil, receives every intermediate snapshot (for progress display).
+// The error is non-nil only for transport failures or ctx
+// cancellation — inspect the returned State for job failure.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, observe func(service.JobStatus)) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if observe != nil {
+			observe(st)
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// ReportArtifact fetches a finished job's report artifact verbatim: exactly
+// the bytes the equivalent local `cmd/experiments run -o` writes.
+func (c *Client) ReportArtifact(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &raw)
+	return raw, err
+}
+
+// Reports fetches and decodes a finished job's reports.
+func (c *Client) Reports(ctx context.Context, id string) ([]*experiments.Report, error) {
+	raw, err := c.ReportArtifact(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ReadArtifact(bytes.NewReader(raw))
+}
+
+// ReportTable fetches a finished job's report rendered as the experiment's
+// plain-text table (?format=table).
+func (c *Client) ReportTable(ctx context.Context, id string) (string, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report?format=table", nil, &raw)
+	return string(raw), err
+}
+
+// Experiments lists the daemon's experiment registry.
+func (c *Client) Experiments(ctx context.Context) ([]service.ExperimentInfo, error) {
+	var infos []service.ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &infos)
+	return infos, err
+}
+
+// Batteries lists the daemon's battery model registry.
+func (c *Client) Batteries(ctx context.Context) ([]string, error) {
+	var names []string
+	err := c.do(ctx, http.MethodGet, "/v1/batteries", nil, &names)
+	return names, err
+}
+
+// Health fetches the daemon's health snapshot.
+func (c *Client) Health(ctx context.Context) (service.Health, error) {
+	var h service.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"battsched/internal/battery"
+	"battsched/internal/experiments"
+)
+
+// maxRequestBody bounds POST payloads; a JobRequest is a few hundred bytes.
+const maxRequestBody = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs              submit {experiment, spec, shards}; 200 when
+//	                           served from cache, 202 when queued
+//	GET  /v1/jobs/{id}         job state and per-shard progress
+//	GET  /v1/jobs/{id}/report  the versioned JSON report artifact
+//	                           (?format=table renders the plain-text tables)
+//	GET  /v1/experiments       the experiment registry
+//	GET  /v1/batteries         the battery model registry
+//	GET  /healthz              queue depth, in-flight units, cache stats
+//
+// Errors are JSON {"error": ...} with 400 (bad request/spec), 404 (unknown
+// job), 409 (report of an unfinished job), 503 (queue full) or 500.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/batteries", s.handleBatteries)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrJobNotFinished):
+		status = http.StatusConflict
+	case errors.Is(err, experiments.ErrBadConfig):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	// Unknown fields are rejected so a typo'd spec key fails loudly instead
+	// of silently running the default configuration.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job request: %v", err)})
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if st.State == StateDone {
+		status = http.StatusOK // served from cache
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	artifact, err := s.Artifact(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "table" {
+		reports, err := experiments.ReadArtifact(bytes.NewReader(artifact))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rep := range reports {
+			text, err := experiments.FormatReport(rep)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			fmt.Fprint(w, text)
+		}
+		return
+	}
+	// The artifact bytes are served verbatim — byte-identical to the local
+	// `cmd/experiments run -o` file, which is the service's correctness
+	// contract.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(artifact)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var infos []ExperimentInfo
+	for _, name := range experiments.Names() {
+		d, err := experiments.Lookup(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		infos = append(infos, ExperimentInfo{
+			Name:      d.Name,
+			Title:     d.Title,
+			Paper:     d.Paper,
+			Shardable: d.Shardable,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleBatteries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, battery.Names())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}

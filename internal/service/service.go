@@ -1,0 +1,408 @@
+// Package service implements the experiment daemon behind cmd/battschedd: a
+// long-running HTTP server over the experiment registry with an asynchronous
+// bounded FIFO job queue, server-side shard fan-out, and a content-addressed
+// report cache.
+//
+// A submitted job names a registered experiment and a SpecRequest. Jobs enter
+// the queue as shard units — one unit for an unsharded run, or Shards
+// independent units each executing its RunOptions.Shard slice — and a bounded
+// worker pool drains the queue in FIFO order. When the last unit of a job
+// completes, the partial reports are recombined with experiments.MergeReports
+// and the complete run's artifact (exactly the bytes `cmd/experiments run -o`
+// writes) is stored in the cache under the canonical spec hash
+// (experiments.SpecHash). A later submission of an equal spec — sharded or
+// not — is answered from the cache without recomputation and marked Cached.
+//
+// Byte-identity to the CLI is the correctness contract: per-set experiments
+// merge shard partials bit-for-bit (sample replay), so their served artifacts
+// equal the local unsharded `run -o` artifact byte-for-byte at any shard
+// count; the scenario grid's chunk-merged cells carry the documented Welford
+// reassociation bound instead, so its sharded artifacts equal the equivalent
+// local shard+merge pipeline.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"battsched/internal/experiments"
+	"battsched/internal/service/cache"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull reports that admitting the job's shard units would exceed
+	// the queue bound.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrUnknownJob reports a job ID this daemon never issued.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobNotFinished reports a report request for a job still in flight.
+	ErrJobNotFinished = errors.New("service: job not finished")
+)
+
+// Config tunes one daemon instance. The zero value is usable: two workers, a
+// 64-unit queue, a memory-only 64-entry cache, full per-run parallelism.
+type Config struct {
+	// Workers is the worker-pool size: how many shard units execute
+	// concurrently (<= 0 selects 2).
+	Workers int
+	// QueueCapacity bounds the FIFO queue in shard units (<= 0 selects 64).
+	// Submissions whose units do not fit are rejected with ErrQueueFull.
+	QueueCapacity int
+	// Parallel is the RunOptions.Parallel passed to every unit's run: the
+	// job-grid worker count inside one experiment run (0 selects all cores).
+	// With several service workers, bound this to avoid oversubscription.
+	Parallel int
+	// CacheDir is the on-disk content-addressed report store; "" keeps the
+	// cache memory-only.
+	CacheDir string
+	// CacheEntries bounds the cache's in-memory LRU tier (<= 0 selects 64).
+	CacheEntries int
+	// MaxJobs bounds the job map (<= 0 selects 1024): when a submission
+	// would exceed it, the oldest *terminal* jobs (done or failed, in
+	// completion order) are evicted so the long-running daemon's memory stays
+	// bounded; their IDs then answer 404. Queued and running jobs are never
+	// evicted. Finished artifacts stay retrievable by resubmitting the spec —
+	// the report cache, not the job map, is the artifact store.
+	MaxJobs int
+}
+
+// Server is the experiment daemon. Construct with New, expose over HTTP with
+// Handler, and stop with Close. Submit and Job are also usable directly for
+// in-process embedding.
+type Server struct {
+	cfg    Config
+	cache  *cache.Cache
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan *unit
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	terminal []string // terminal job IDs in completion order (eviction queue)
+	queued   int      // units in the queue
+	inFlight int      // units executing
+	seq      int
+}
+
+// job is one accepted submission.
+type job struct {
+	id         string
+	experiment string
+	hash       string
+	spec       experiments.Spec
+	state      string
+	cached     bool
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	units      []*unit
+	remaining  int
+	artifact   []byte
+}
+
+// unit is one queued/executing shard of a job.
+type unit struct {
+	job   *job
+	shard experiments.Shard
+	state string
+	done  int
+	total int
+	rep   *experiments.Report
+}
+
+// New constructs a daemon and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	c, err := cache.New(cfg.CacheDir, cfg.CacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		cache:  c,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *unit, cfg.QueueCapacity),
+		jobs:   make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops the worker pool: in-flight runs are cancelled through their
+// context and queued units are abandoned. Safe to call more than once.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Submit validates and admits one job. A spec whose canonical hash is
+// already in the report cache completes immediately with Cached set; anything
+// else enqueues the job's shard units, failing with ErrQueueFull when they
+// do not fit the queue bound.
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	def, err := experiments.Lookup(req.Experiment)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if req.Shards < 0 {
+		return JobStatus{}, fmt.Errorf("%w: negative shard count %d", experiments.ErrBadConfig, req.Shards)
+	}
+	if req.Shards > 1 && !def.Shardable {
+		return JobStatus{}, fmt.Errorf("%w: experiment %q is deterministic and does not shard",
+			experiments.ErrBadConfig, req.Experiment)
+	}
+	spec := req.Spec.Spec()
+	if spec.Battery != "" {
+		// Fail a bad battery name at submission instead of asynchronously.
+		if _, err := experiments.NamedBatteryFactory(spec.Battery); err != nil {
+			return JobStatus{}, err
+		}
+	}
+	spec.Parallel = s.cfg.Parallel
+	hash := experiments.SpecHash(req.Experiment, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:         fmt.Sprintf("job-%06d", s.seq),
+		experiment: req.Experiment,
+		hash:       hash,
+		spec:       spec,
+		created:    time.Now(),
+	}
+	if artifact, ok := s.cache.Get(hash); ok {
+		j.cached = true
+		j.artifact = artifact
+		s.jobs[j.id] = j
+		s.finishLocked(j, StateDone, "")
+		s.evictLocked()
+		return s.statusLocked(j), nil
+	}
+	shards := req.Shards
+	if shards <= 1 {
+		j.units = []*unit{{job: j, state: StateQueued}}
+	} else {
+		for i := 0; i < shards; i++ {
+			j.units = append(j.units, &unit{
+				job:   j,
+				shard: experiments.Shard{Index: i, Count: shards},
+				state: StateQueued,
+			})
+		}
+	}
+	if s.queued+len(j.units) > s.cfg.QueueCapacity {
+		return JobStatus{}, fmt.Errorf("%w: %d unit(s) would exceed the %d-unit bound (%d queued)",
+			ErrQueueFull, len(j.units), s.cfg.QueueCapacity, s.queued)
+	}
+	j.state = StateQueued
+	j.remaining = len(j.units)
+	s.jobs[j.id] = j
+	s.evictLocked()
+	for _, u := range j.units {
+		s.queued++
+		s.queue <- u // never blocks: queued <= QueueCapacity == cap(queue)
+	}
+	return s.statusLocked(j), nil
+}
+
+// finishLocked marks j terminal and records it in the eviction queue (a job
+// reaches a terminal state exactly once). Callers hold s.mu.
+func (s *Server) finishLocked(j *job, state, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	s.terminal = append(s.terminal, j.id)
+}
+
+// evictLocked drops the oldest terminal jobs beyond the MaxJobs bound, so a
+// long-running daemon's job map cannot grow without limit. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.cfg.MaxJobs && len(s.terminal) > 0 {
+		id := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		delete(s.jobs, id)
+	}
+}
+
+// Job returns the status of one job.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// Artifact returns the finished job's report artifact: exactly the bytes the
+// equivalent local `cmd/experiments run -o` writes. ErrJobNotFinished while
+// the job is queued or running; the job's failure message once failed.
+func (s *Server) Artifact(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateDone:
+		return j.artifact, nil
+	case StateFailed:
+		return nil, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
+	default:
+		return nil, fmt.Errorf("%w: job %s is %s", ErrJobNotFinished, id, j.state)
+	}
+}
+
+// Health snapshots the daemon's load.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits, misses := s.cache.Stats()
+	return Health{
+		Status:        "ok",
+		QueueDepth:    s.queued,
+		QueueCapacity: s.cfg.QueueCapacity,
+		InFlight:      s.inFlight,
+		Workers:       s.cfg.Workers,
+		Jobs:          len(s.jobs),
+		CacheEntries:  s.cache.Len(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}
+}
+
+// statusLocked builds a JobStatus snapshot. Callers hold s.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Hash:       j.hash,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.errMsg,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+	}
+	for _, u := range j.units {
+		st.Shards = append(st.Shards, ShardStatus{
+			Shard: u.shard.String(),
+			State: u.state,
+			Done:  u.done,
+			Total: u.total,
+		})
+	}
+	return st
+}
+
+// worker drains the unit queue until the daemon closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case u := <-s.queue:
+			s.runUnit(u)
+		}
+	}
+}
+
+// runUnit executes one shard unit and finalises its job when it is the last.
+func (s *Server) runUnit(u *unit) {
+	j := u.job
+	s.mu.Lock()
+	s.queued--
+	if j.state == StateFailed || s.ctx.Err() != nil {
+		// A sibling shard already failed the job (or the daemon is closing):
+		// don't burn a worker on a result nobody will merge.
+		u.state = StateFailed
+		s.mu.Unlock()
+		return
+	}
+	s.inFlight++
+	u.state = StateRunning
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = time.Now()
+	}
+	s.mu.Unlock()
+
+	spec := j.spec
+	spec.Shard = u.shard
+	spec.Progress = func(done, total int) {
+		s.mu.Lock()
+		u.done, u.total = done, total
+		s.mu.Unlock()
+	}
+	rep, err := experiments.Run(s.ctx, j.experiment, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inFlight--
+	if err != nil {
+		u.state = StateFailed
+		if j.state != StateFailed {
+			s.finishLocked(j, StateFailed, err.Error())
+		}
+		return
+	}
+	u.state = StateDone
+	u.rep = rep
+	j.remaining--
+	if j.remaining == 0 {
+		s.finalizeLocked(j)
+	}
+}
+
+// finalizeLocked merges a job's shard partials, renders the artifact and
+// stores it in the report cache. Callers hold s.mu.
+func (s *Server) finalizeLocked(j *job) {
+	rep := j.units[0].rep
+	if len(j.units) > 1 {
+		parts := make([]*experiments.Report, len(j.units))
+		for i, u := range j.units {
+			parts[i] = u.rep
+		}
+		merged, err := experiments.MergeReports(parts)
+		if err != nil {
+			s.finishLocked(j, StateFailed, err.Error())
+			return
+		}
+		rep = merged
+	}
+	var buf bytes.Buffer
+	if err := experiments.WriteArtifact(&buf, []*experiments.Report{rep}); err != nil {
+		s.finishLocked(j, StateFailed, err.Error())
+		return
+	}
+	j.artifact = buf.Bytes()
+	s.finishLocked(j, StateDone, "")
+	// A cache write failure (disk full, permissions) must not fail the job:
+	// the artifact is already in memory; only future resubmissions lose the
+	// shortcut.
+	_ = s.cache.Put(j.hash, j.artifact)
+}
