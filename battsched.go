@@ -240,6 +240,9 @@ type (
 	// BatteryRepetitionOperator advances a model by whole profile
 	// repetitions through a precomputed affine transfer operator.
 	BatteryRepetitionOperator = battery.RepetitionOperator
+	// BatteryAnalyticGater is the optional per-instance gate on the analytic
+	// path (the stochastic model's Monte Carlo mode keeps slot stepping).
+	BatteryAnalyticGater = battery.AnalyticGater
 	// BatteryResult is the outcome of a battery lifetime simulation.
 	BatteryResult = battery.Result
 	// BatterySimulateOptions tune the battery simulation driver.
@@ -276,8 +279,9 @@ func BatteryModelNames() []string { return battery.Names() }
 // BatteryLifetime plays the profile periodically against the model until the
 // battery is exhausted and reports lifetime and delivered charge. Models
 // implementing BatterySegmentDrainer take the analytic fast path (whole
-// segments, per-repetition transfer operators, exhaustion root-finding); the
-// stochastic model is stepped at 1 s.
+// segments, per-repetition transfer operators, exhaustion root-finding);
+// since the stochastic fast path that is every registered model in its
+// default mode, with only Monte Carlo instances stepped at 1 s.
 func BatteryLifetime(m BatteryModel, p *Profile) (BatteryResult, error) {
 	return battery.SimulateUntilExhausted(m, p, battery.SimulateOptions{})
 }
@@ -286,6 +290,15 @@ func BatteryLifetime(m BatteryModel, p *Profile) (BatteryResult, error) {
 // positive MaxStep forces the uniform-stepping path for every model.
 func BatteryLifetimeOpts(m BatteryModel, p *Profile, opts BatterySimulateOptions) (BatteryResult, error) {
 	return battery.SimulateUntilExhausted(m, p, opts)
+}
+
+// BatteryLifetimeBatch evaluates N battery models against one load profile in
+// a single pass over its segment stream, returning one result per model in
+// input order. Results are bit-identical to N BatteryLifetimeOpts calls;
+// stepped models share one slot clock and drop out of the pass as they die,
+// so evaluating a whole model axis costs one profile replay instead of N.
+func BatteryLifetimeBatch(models []BatteryModel, p *Profile, opts BatterySimulateOptions) ([]BatteryResult, error) {
+	return battery.SimulateBatch(models, p, opts)
 }
 
 // DeliveredCapacityCurve sweeps constant loads and reports the delivered

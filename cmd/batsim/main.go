@@ -8,6 +8,7 @@
 //
 //	batsim -profile profile.csv -battery kibam
 //	batsim -current 1.2 -battery stochastic
+//	batsim -current 1.2 -battery stochastic,kibam,diffusion,peukert
 //	batsim -curve
 package main
 
@@ -37,7 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		profilePath = fs.String("profile", "", "load profile CSV (start_s,duration_s,current_a)")
 		current     = fs.Float64("current", 0, "constant load current in amperes (used when no profile is given)")
 		duration    = fs.Float64("duration", 60, "duration of the constant-load segment in seconds")
-		batteryName = fs.String("battery", "stochastic", "battery model: stochastic, kibam, diffusion, peukert")
+		batteryName = fs.String("battery", "stochastic", "comma-separated battery models (stochastic, kibam, diffusion, peukert), all evaluated in one batch pass")
 		curve       = fs.Bool("curve", false, "sweep constant loads and print the delivered-capacity curve for all models")
 		maxHours    = fs.Float64("max-hours", 72, "simulation horizon in hours")
 		maxStep     = fs.Float64("maxstep", 0, "substep in seconds forcing the uniform-stepping path; 0 selects the analytic fast path for closed-form models (the stochastic model then steps at 1 s)")
@@ -86,19 +87,34 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("either -profile, -current or -curve is required")
 	}
 
-	factory, err := experiments.NamedBatteryFactory(strings.ToLower(*batteryName))
-	if err != nil {
-		return err
+	// -battery accepts a comma list; all models are evaluated against the one
+	// profile in a single batch pass.
+	var models []battsched.BatteryModel
+	for _, name := range strings.Split(*batteryName, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		factory, err := experiments.NamedBatteryFactory(name)
+		if err != nil {
+			return err
+		}
+		models = append(models, factory())
 	}
-	m := factory()
-	res, err := battsched.BatteryLifetimeOpts(m, p, battsched.BatterySimulateOptions{MaxTime: *maxHours * 3600, MaxStep: *maxStep})
+	if len(models) == 0 {
+		return fmt.Errorf("-battery lists no model names")
+	}
+	results, err := battsched.BatteryLifetimeBatch(models, p, battsched.BatterySimulateOptions{MaxTime: *maxHours * 3600, MaxStep: *maxStep})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "profile:  duration=%.4gs avg current=%.4g A peak=%.4g A charge/cycle=%.4g mAh\n",
 		p.Duration(), p.AverageCurrent(), p.PeakCurrent(), p.ChargeMAh())
-	fmt.Fprintf(stdout, "battery:  %s (max capacity %.0f mAh)\n", m.Name(), battsched.MAh(m.MaxCapacity()))
-	fmt.Fprintf(stdout, "result:   lifetime=%.1f min  delivered=%.0f mAh  exhausted=%v  repetitions=%d\n",
-		res.LifetimeMinutes(), res.DeliveredMAh(), res.Exhausted, res.Repetitions)
+	for i, m := range models {
+		res := results[i]
+		fmt.Fprintf(stdout, "battery:  %s (max capacity %.0f mAh)\n", m.Name(), battsched.MAh(m.MaxCapacity()))
+		fmt.Fprintf(stdout, "result:   lifetime=%.1f min  delivered=%.0f mAh  exhausted=%v  repetitions=%d\n",
+			res.LifetimeMinutes(), res.DeliveredMAh(), res.Exhausted, res.Repetitions)
+	}
 	return nil
 }

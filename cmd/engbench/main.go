@@ -18,8 +18,12 @@
 // lifetime simulation per battery model on a representative periodic load,
 // comparing the MaxStep-2 uniform-stepping path against the analytic path
 // (whole segments + per-repetition transfer operators + exhaustion
-// root-finding) where the model supports it. CI tracks the speedup to catch
-// fast-path regressions.
+// root-finding) — since the stochastic geometric-recovery fast path, every
+// model has one in its default mode. The report also carries batch rows
+// comparing one SimulateBatch pass over N models against N sequential scalar
+// passes (fresh instance per pass, the pre-batch driver behaviour); engbench
+// exits nonzero if a batch pass is slower than the scalar passes it replaces
+// (beyond a 1.10 noise factor), so CI catches batch regressions directly.
 //
 // The service report (BENCH_service.json, -service-o): BenchmarkServiceSubmit
 // — end-to-end latency of submitting a quick Table 2 spec to an in-process
@@ -96,8 +100,8 @@ type batteryMeasurement struct {
 	// SteppedNsPerOp is the MaxStep-2 uniform-stepping path (the
 	// pre-analytic experiment configuration).
 	SteppedNsPerOp float64 `json:"stepped_ns_per_op"`
-	// AnalyticNsPerOp is the analytic fast path; 0 for models without one
-	// (the stochastic model keeps fine stepping).
+	// AnalyticNsPerOp is the analytic fast path (since the stochastic
+	// geometric-recovery fast path, every model has one in its default mode).
 	AnalyticNsPerOp float64 `json:"analytic_ns_per_op,omitempty"`
 	// Speedup is SteppedNsPerOp / AnalyticNsPerOp.
 	Speedup float64 `json:"speedup,omitempty"`
@@ -108,11 +112,36 @@ type batteryMeasurement struct {
 	AnalyticLifetimeMin float64 `json:"analytic_lifetime_min,omitempty"`
 }
 
+// batchMeasurement compares evaluating N models on one profile through the
+// batch API against N sequential scalar passes. Scalar columns use a fresh
+// instance per simulation (the pre-batch driver behaviour); the batch column
+// reuses its instances across iterations (the new driver behaviour), so the
+// alloc columns also record the instance-reuse win.
+type batchMeasurement struct {
+	// Models is the batch size (models cycle through the four families).
+	Models int `json:"models"`
+	// BatchNsPerOp and BatchAllocsPerOp are one SimulateBatch pass.
+	BatchNsPerOp     float64 `json:"batch_ns_per_op"`
+	BatchAllocsPerOp int64   `json:"batch_allocs_per_op"`
+	// ScalarNsPerOp and ScalarAllocsPerOp are N sequential default-dispatch
+	// SimulateUntilExhausted calls on fresh instances.
+	ScalarNsPerOp     float64 `json:"scalar_ns_per_op"`
+	ScalarAllocsPerOp int64   `json:"scalar_allocs_per_op"`
+	// SteppedScalarNsPerOp is N sequential MaxStep-2 stepped-path calls (the
+	// pre-analytic configuration — the baseline of the headline speedup).
+	SteppedScalarNsPerOp float64 `json:"stepped_scalar_ns_per_op"`
+	// SpeedupVsScalar is ScalarNsPerOp / BatchNsPerOp; SpeedupVsStepped is
+	// SteppedScalarNsPerOp / BatchNsPerOp.
+	SpeedupVsScalar  float64 `json:"speedup_vs_scalar,omitempty"`
+	SpeedupVsStepped float64 `json:"speedup_vs_stepped,omitempty"`
+}
+
 // batteryReport is the emitted BENCH_battery.json document.
 type batteryReport struct {
 	Benchmark string               `json:"benchmark"`
 	Profile   string               `json:"profile"`
 	Models    []batteryMeasurement `json:"models"`
+	Batch     []batchMeasurement   `json:"batch"`
 }
 
 // benchBattery measures full 72 h lifetime simulations of every battery
@@ -146,7 +175,7 @@ func benchBattery() batteryReport {
 		{"kibam", func() battery.Model { return kibam.Default() }, true},
 		{"diffusion", func() battery.Model { return diffusion.Default() }, true},
 		{"peukert", func() battery.Model { return peukert.Default() }, true},
-		{"stochastic", func() battery.Model { return stochastic.Default() }, false},
+		{"stochastic", func() battery.Model { return stochastic.Default() }, true},
 	}
 	rep := batteryReport{
 		Benchmark: "BatteryLifetime/72h-horizon",
@@ -164,6 +193,51 @@ func benchBattery() batteryReport {
 		}
 		rep.Models = append(rep.Models, meas)
 	}
+
+	// Batch rows: N models (cycling the four families) drained against the
+	// same profile, one SimulateBatch pass versus N sequential scalar passes.
+	measureBatch := func(n int) batchMeasurement {
+		bm := batchMeasurement{Models: n}
+		opts := battery.SimulateOptions{MaxTime: 72 * 3600}
+		instances := make([]battery.Model, n)
+		for i := range instances {
+			instances[i] = models[i%len(models)].factory()
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := battery.SimulateBatch(instances, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		bm.BatchNsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		bm.BatchAllocsPerOp = r.AllocsPerOp()
+
+		scalar := func(o battery.SimulateOptions) (float64, int64) {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < n; j++ {
+						if _, err := battery.SimulateUntilExhausted(models[j%len(models)].factory(), p, o); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocsPerOp()
+		}
+		bm.ScalarNsPerOp, bm.ScalarAllocsPerOp = scalar(opts)
+		stepped := opts
+		stepped.MaxStep = 2
+		bm.SteppedScalarNsPerOp, _ = scalar(stepped)
+		if bm.BatchNsPerOp > 0 {
+			bm.SpeedupVsScalar = bm.ScalarNsPerOp / bm.BatchNsPerOp
+			bm.SpeedupVsStepped = bm.SteppedScalarNsPerOp / bm.BatchNsPerOp
+		}
+		return bm
+	}
+	rep.Batch = []batchMeasurement{measureBatch(4), measureBatch(16)}
 	return rep
 }
 
@@ -273,7 +347,20 @@ func main() {
 		if path == "-" {
 			path = ""
 		}
-		writeJSON(benchBattery(), path)
+		brep := benchBattery()
+		writeJSON(brep, path)
+		// Regression gate: a batch pass must never be slower than the N
+		// sequential scalar passes it replaces. The 1.10 factor absorbs
+		// benchmark noise on shared CI runners; a genuine regression (batch
+		// overhead outgrowing its shared-clock win) blows well past it.
+		for _, bm := range brep.Batch {
+			if bm.BatchNsPerOp > bm.ScalarNsPerOp*1.10 {
+				fmt.Fprintf(os.Stderr,
+					"engbench: batch regression: SimulateBatch of %d models took %.0f ns/op vs %.0f ns/op for %d sequential scalar passes (>1.10x)\n",
+					bm.Models, bm.BatchNsPerOp, bm.ScalarNsPerOp, bm.Models)
+				os.Exit(1)
+			}
+		}
 	}
 	if *serviceOut != "" {
 		path := *serviceOut

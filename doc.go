@@ -46,15 +46,23 @@
 // repetitions are applied through a precomputed affine transfer operator in
 // O(state) time while a conservative check proves the battery survives them,
 // and the exhaustion instant is located by Newton iteration (with a bisection
-// safeguard) on the closed form. The stochastic model — whose recovery
-// probability depends on the evolving depth of discharge — has no exact
-// segment update and is stepped at 1 s. Setting
+// safeguard) on the closed form. The stochastic model's expected-value mode
+// (its default) is analytic too: between recoveries the delivered charge
+// advances deterministically, so the expected recovery collapses to a
+// closed-form geometric series per segment; Monte Carlo mode declines the
+// fast path (BatteryAnalyticGater) and keeps exact slot stepping. Setting
 // BatterySimulateOptions.MaxStep to a positive value forces the
 // uniform-stepping path for every model (the reference the accuracy tests
 // compare against); cmd/batsim and cmd/basched expose the choice as -maxstep.
-// On representative periodic loads the analytic path is 35–350x faster than
+// On representative periodic loads the analytic path is 33–350x faster than
 // 2 s stepping (see cmd/engbench -battery-o and the BenchmarkLifetime*
 // benchmarks in internal/battery).
+//
+// BatteryLifetimeBatch evaluates N models against one profile in a single
+// pass — analytic models via the scalar analytic driver, stepped models
+// sharing one slot clock with exhausted models dropping out — and is
+// bit-identical to N sequential BatteryLifetime calls; the experiment
+// drivers and batsim's comma-separated -battery flag are built on it.
 //
 // # Parallel experiment runner
 //

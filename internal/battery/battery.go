@@ -75,6 +75,38 @@ type RepetitionTransferer interface {
 	RepetitionOperator(p *profile.Profile) RepetitionOperator
 }
 
+// AnalyticGater is the optional per-instance gate on the analytic path.
+// SegmentDrainer is a type-level property, but for some models the closed
+// forms only cover part of the configuration space — the stochastic model's
+// DrainSegment is exact in expected-value mode but its Monte Carlo mode is
+// defined one RNG draw per slot and must keep the stepped path. Models with
+// such a split implement AnalyticGater; the drivers consult it before
+// dispatching to the analytic path. Models that do not implement it are
+// analytic whenever they implement SegmentDrainer.
+type AnalyticGater interface {
+	// AnalyticOK reports whether this instance's configuration is covered by
+	// its analytic fast path.
+	AnalyticOK() bool
+}
+
+// analyticDrainer returns the analytic fast-path view of m, if the current
+// options and the model's own gate select it: MaxStep must not force the
+// stepped path, the model must implement SegmentDrainer, and an AnalyticGater
+// model must accept its configuration.
+func analyticDrainer(m Model, maxStep float64) (SegmentDrainer, bool) {
+	if maxStep > 0 {
+		return nil, false
+	}
+	sd, ok := m.(SegmentDrainer)
+	if !ok {
+		return nil, false
+	}
+	if g, ok := m.(AnalyticGater); ok && !g.AnalyticOK() {
+		return nil, false
+	}
+	return sd, true
+}
+
 // Coulombs per milliampere-hour.
 const CoulombsPerMAh = 3.6
 
@@ -158,10 +190,10 @@ func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (
 		return Result{}, fmt.Errorf("%w: %v", ErrBadProfile, err)
 	}
 	opts.setDefaults()
+	if sd, ok := analyticDrainer(m, opts.MaxStep); ok {
+		return simulateAnalytic(sd, p, opts)
+	}
 	if opts.MaxStep <= 0 {
-		if sd, ok := m.(SegmentDrainer); ok {
-			return simulateAnalytic(sd, p, opts)
-		}
 		opts.MaxStep = 1.0
 	}
 	return simulateStepped(m, p, opts)

@@ -65,11 +65,88 @@ func BenchmarkLifetimePeukert(b *testing.B) {
 	benchLifetimePaths(b, func() battery.Model { return peukert.Default() })
 }
 
-// BenchmarkLifetimeStochastic has no analytic variant: the stochastic model
-// keeps fine stepping (its recovery probability depends on the evolving depth
-// of discharge, so no closed-form segment update exists).
+// BenchmarkLifetimeStochastic compares the paths of the expected-value
+// stochastic model: "stepped" is the pre-analytic configuration, "analytic"
+// the closed-form geometric-recovery fast path that reproduces the same
+// expected recursion.
 func BenchmarkLifetimeStochastic(b *testing.B) {
-	b.Run("stepped", func(b *testing.B) {
-		benchLifetime(b, func() battery.Model { return stochastic.Default() }, battery.SimulateOptions{MaxStep: 2})
+	benchLifetimePaths(b, func() battery.Model { return stochastic.Default() })
+}
+
+// BenchmarkLifetimeStochasticFast is the CI-tracked speedup gate of the
+// stochastic fast path: the same expected-value lifetime through the default
+// analytic dispatch versus the forced 1 s-substep stepping it replaces.
+func BenchmarkLifetimeStochasticFast(b *testing.B) {
+	b.Run("stepped1s", func(b *testing.B) {
+		benchLifetime(b, func() battery.Model { return stochastic.Default() }, battery.SimulateOptions{MaxStep: 1})
+	})
+	b.Run("fast", func(b *testing.B) {
+		benchLifetime(b, func() battery.Model { return stochastic.Default() }, battery.SimulateOptions{})
 	})
 }
+
+// batchBenchModels builds n models cycling through the four families with
+// scaled capacities, so the batch mixes analytic and stepped paths and the
+// deaths stagger (the shared pass narrows as batteries die).
+func batchBenchModels(b *testing.B, n int) []battery.Model {
+	b.Helper()
+	names := []string{"kibam", "diffusion", "peukert", "stochastic"}
+	models := make([]battery.Model, n)
+	for i := range models {
+		m, err := battery.New(names[i%len(names)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		models[i] = m
+	}
+	return models
+}
+
+// benchLifetimeBatch benchmarks evaluating n models over the bench profile
+// three ways: the batch API, n sequential default-dispatch simulations
+// (scalar), and n sequential stepped-path simulations (scalar-stepped, the
+// pre-analytic configuration — the baseline the batch speedup criterion is
+// measured against).
+func benchLifetimeBatch(b *testing.B, n int) {
+	p := benchLifetimeProfile()
+	opts := battery.SimulateOptions{MaxTime: 72 * 3600}
+	b.Run("batch", func(b *testing.B) {
+		models := batchBenchModels(b, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := battery.SimulateBatch(models, p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		models := batchBenchModels(b, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, m := range models {
+				if _, err := battery.SimulateUntilExhausted(m, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("scalar-stepped", func(b *testing.B) {
+		models := batchBenchModels(b, n)
+		stepped := opts
+		stepped.MaxStep = 2
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, m := range models {
+				if _, err := battery.SimulateUntilExhausted(m, p, stepped); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkLifetimeBatch4(b *testing.B)  { benchLifetimeBatch(b, 4) }
+func BenchmarkLifetimeBatch16(b *testing.B) { benchLifetimeBatch(b, 16) }

@@ -24,11 +24,19 @@
 //     slot at a time, reproducing the stochastic trajectories of the original
 //     model.
 //
-// Unlike the closed-form models, this model deliberately does not implement
-// battery.SegmentDrainer: its recovery probability depends on the evolving
-// depth of discharge (and Monte Carlo mode on the RNG stream), so there is no
-// exact whole-segment update and battery.SimulateUntilExhausted keeps fine
-// stepping it.
+// Expected-value mode additionally implements battery.SegmentDrainer and
+// battery.RepetitionTransferer, so battery.SimulateUntilExhausted advances it
+// whole constant-current segments (and whole profile repetitions) at a time.
+// The key identity: within a constant-current segment the expected-value
+// recursion at step h has deterministic depth of discharge (delivered charge
+// grows by I·h per step regardless of recovery), so the per-step recovery
+// term is a geometric sequence a·qᵐ whose partial sums have a closed form —
+// the whole segment collapses to O(1) arithmetic plus exact per-step updates
+// at the few steps where a branch (recovery clamped by the bound store, or
+// exhaustion) is near. Params.ExpectedStep selects the reproduced step
+// resolution. Monte Carlo mode has no such collapse — its trajectory is
+// defined one RNG draw per slot — so it gates itself off the analytic path
+// via battery.AnalyticGater and keeps fine stepping.
 package stochastic
 
 import (
@@ -63,6 +71,15 @@ type Params struct {
 	MonteCarlo bool
 	// Seed seeds the RNG used in Monte Carlo mode.
 	Seed int64
+	// ExpectedStep is the time resolution, in seconds, of the expected-value
+	// recursion that the analytic segment fast path reproduces (in closed
+	// form, so the cost per segment is independent of the resolution). Zero
+	// selects 1 s — the substep of the historical uniform-stepping driver, so
+	// default fast-path results track the pre-fast-path numbers to rounding
+	// error. Set it to SlotDuration for slot-exact expected-value evaluation.
+	// Must be at most 10 s (the expected-value chunk bound). Monte Carlo mode
+	// ignores it.
+	ExpectedStep float64
 }
 
 // ErrBadParams is returned by New for invalid parameters.
@@ -72,6 +89,7 @@ var ErrBadParams = errors.New("stochastic: invalid parameters")
 type Battery struct {
 	params Params
 	unit   float64 // charge per slot at MaxCurrent, in coulombs
+	estep  float64 // resolved ExpectedStep (1 s when the param is zero)
 	rng    *rand.Rand
 
 	available float64 // coulombs directly available
@@ -106,13 +124,17 @@ func Default() *Battery {
 func New(p Params) (*Battery, error) {
 	if p.MaxCoulombs <= 0 || p.NominalCoulombs <= 0 || p.NominalCoulombs > p.MaxCoulombs ||
 		p.MaxCurrent <= 0 || p.RecoveryProb < 0 || p.RecoveryProb > 1 ||
-		p.RecoveryDecay < 0 || p.SlotDuration <= 0 {
+		p.RecoveryDecay < 0 || p.SlotDuration <= 0 ||
+		p.ExpectedStep < 0 || p.ExpectedStep > expectedChunk {
 		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
 	}
 	b := &Battery{
 		params: p,
 		unit:   p.MaxCurrent * p.SlotDuration,
-		rng:    rand.New(rand.NewSource(p.Seed)),
+		estep:  p.ExpectedStep,
+	}
+	if b.estep == 0 {
+		b.estep = 1
 	}
 	b.Reset()
 	return b, nil
@@ -124,13 +146,24 @@ func (b *Battery) Name() string { return "stochastic" }
 // Params returns the model parameters.
 func (b *Battery) Params() Params { return b.params }
 
-// Reset implements battery.Model.
+// Reset implements battery.Model. Only Monte Carlo mode maintains the RNG —
+// reseeding a rand source costs microseconds, longer than a whole analytic
+// expected-value lifetime — and it is reseeded in place rather than
+// reallocated, so instances can be reused across simulations (the batch
+// drivers reset-and-reuse one instance per model) without per-run garbage.
 func (b *Battery) Reset() {
 	b.available = b.params.NominalCoulombs
 	b.bound = b.params.MaxCoulombs - b.params.NominalCoulombs
 	b.delivered = 0
 	b.alive = true
-	b.rng = rand.New(rand.NewSource(b.params.Seed))
+	if !b.params.MonteCarlo {
+		return
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.params.Seed))
+	} else {
+		b.rng.Seed(b.params.Seed)
+	}
 }
 
 // MaxCapacity implements battery.Model.
@@ -179,14 +212,17 @@ func (b *Battery) Drain(current, dt float64) (sustained float64, alive bool) {
 	return b.drainExpected(current, dt)
 }
 
+// expectedChunk is the largest interval drainExpected treats as one
+// expected-value step (and therefore the largest Params.ExpectedStep).
+const expectedChunk = 10.0 // seconds
+
 // drainExpected advances the model using slot-level expected values; it
 // processes the whole interval analytically in bounded-size chunks so the
 // depth-of-discharge dependence of the recovery probability stays accurate.
 func (b *Battery) drainExpected(current, dt float64) (sustained float64, alive bool) {
-	const chunk = 10.0 // seconds per expected-value sub-step
 	t := 0.0
 	for t < dt {
-		h := math.Min(chunk, dt-t)
+		h := math.Min(expectedChunk, dt-t)
 		demandFrac := math.Min(current/b.params.MaxCurrent, 1)
 		idleFrac := 1 - demandFrac
 		// Expected recovery over h seconds: one unit per idle slot with

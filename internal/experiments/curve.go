@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"battsched/internal/battery"
+	"battsched/internal/profile"
 	"battsched/internal/runner"
 	"battsched/internal/stats"
 )
@@ -78,11 +79,11 @@ func init() {
 }
 
 // runLoadCapacityCurveReport sweeps constant loads for each requested battery
-// model. Each (model, current) cell is one job of the runner harness: a
-// fresh battery instance simulated to exhaustion at that constant load.
-// Points stream directly into the output series. The sweep is deterministic
-// (no stochastic sets), so RunOptions.TargetCI has no effect and the
-// experiment does not shard.
+// model. Each current is one job of the runner harness: one batch pass
+// (battery.SimulateBatch) drives every model's instance to exhaustion at that
+// constant load. Points stream directly into the output series. The sweep is
+// deterministic (no stochastic sets), so RunOptions.TargetCI has no effect
+// and the experiment does not shard.
 func runLoadCapacityCurveReport(ctx context.Context, cfg CurveConfig) (*Report, error) {
 	if len(cfg.Models) == 0 {
 		cfg.Models = DefaultCurveConfig().Models
@@ -107,23 +108,34 @@ func runLoadCapacityCurveReport(ctx context.Context, cfg CurveConfig) (*Report, 
 	for mi, name := range cfg.Models {
 		out[mi] = CurveSeries{Model: name, Points: make([]battery.CurvePoint, len(cfg.Currents))}
 	}
-	grid := runner.NewGrid(len(cfg.Models), len(cfg.Currents))
-	err = runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (battery.CurvePoint, error) {
-		c := grid.Coords(idx)
-		current := cfg.Currents[c[1]]
-		r, err := battery.ConstantLoadLifetimeOpts(factories[c[0]](), current,
+	err = runner.RunStream(ctx, len(cfg.Currents), cfg.runnerOptions(), func(_ context.Context, ci int) ([]battery.CurvePoint, error) {
+		current := cfg.Currents[ci]
+		// Jobs run in parallel, so each builds its own instances; within the
+		// job the whole model axis is one batch pass over the constant-load
+		// profile.
+		models := make([]battery.Model, len(factories))
+		for mi, factory := range factories {
+			models[mi] = factory()
+		}
+		p := profile.Constant(current, cfg.MaxHours*3600)
+		rs, err := battery.SimulateBatch(models, p,
 			battery.SimulateOptions{MaxTime: cfg.MaxHours * 3600, MaxStep: cfg.MaxStep})
 		if err != nil {
-			return battery.CurvePoint{}, err
+			return nil, err
 		}
-		return battery.CurvePoint{
-			Current:         current,
-			DeliveredMAh:    r.DeliveredMAh(),
-			LifetimeMinutes: r.LifetimeMinutes(),
-		}, nil
-	}, func(idx int, p battery.CurvePoint) error {
-		c := grid.Coords(idx)
-		out[c[0]].Points[c[1]] = p
+		points := make([]battery.CurvePoint, len(rs))
+		for mi, r := range rs {
+			points[mi] = battery.CurvePoint{
+				Current:         current,
+				DeliveredMAh:    r.DeliveredMAh(),
+				LifetimeMinutes: r.LifetimeMinutes(),
+			}
+		}
+		return points, nil
+	}, func(ci int, points []battery.CurvePoint) error {
+		for mi, p := range points {
+			out[mi].Points[ci] = p
+		}
 		return nil
 	})
 	if err != nil {

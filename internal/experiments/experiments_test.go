@@ -334,14 +334,15 @@ func TestExperimentProgressAndCancellation(t *testing.T) {
 	cfg.Progress = func(done, total int) {
 		last = done
 		calls++
-		if total != len(cfg.Models)*len(cfg.Currents) {
+		// One job per current: each job batch-evaluates the whole model axis.
+		if total != len(cfg.Currents) {
 			t.Errorf("total = %d", total)
 		}
 	}
 	if _, err := RunLoadCapacityCurve(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	if want := len(cfg.Models) * len(cfg.Currents); calls != want || last != want {
+	if want := len(cfg.Currents); calls != want || last != want {
 		t.Fatalf("progress calls = %d last = %d, want %d", calls, last, want)
 	}
 

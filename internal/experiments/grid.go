@@ -220,6 +220,13 @@ func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report
 			charge: make([]stats.Accumulator, len(factories)),
 			life:   make([]stats.Accumulator, len(factories)),
 		}
+		// One model instance per battery for the whole chunk: every
+		// simulation Resets its models, so the instances are reused across
+		// sets instead of reallocated per (set, battery) evaluation.
+		models := make([]battery.Model, len(factories))
+		for bi, factory := range factories {
+			models[bi] = factory()
+		}
 		for set := setLo; set < setHi; set++ {
 			// The workload seed is shared by every (battery, scheme) cell of
 			// this utilisation point so cells stay comparable.
@@ -247,18 +254,17 @@ func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report
 				return scenarioPartial{}, err
 			}
 			part.misses += res.DeadlineMisses
-			// The load profile is battery-independent; evaluate every battery
-			// model against the one profile instead of re-scheduling per model.
-			for bi, factory := range factories {
-				// Zero MaxStep selects the analytic fast path for the
-				// closed-form models; the stochastic model falls back to 1 s
-				// stepping.
-				br, err := battery.SimulateUntilExhausted(factory(), res.Profile, battery.SimulateOptions{
-					MaxTime: cfg.MaxBatteryHours * 3600,
-				})
-				if err != nil {
-					return scenarioPartial{}, err
-				}
+			// The load profile is battery-independent; one batch pass over it
+			// evaluates the whole battery axis (zero MaxStep selects each
+			// model's analytic fast path) instead of re-scheduling — or even
+			// re-replaying the profile — per model.
+			brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
+				MaxTime: cfg.MaxBatteryHours * 3600,
+			})
+			if err != nil {
+				return scenarioPartial{}, err
+			}
+			for bi, br := range brs {
 				part.charge[bi].Add(br.DeliveredMAh())
 				part.life[bi].Add(br.LifetimeMinutes())
 			}

@@ -181,6 +181,9 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 		return nil, err
 	}
 	cells := make([]table2Cell, len(schemes))
+	// One battery instance for the whole job, reused across schemes through
+	// the batch API (every simulation Resets its models).
+	models := []battery.Model{cfg.Battery()}
 	for i, s := range schemes {
 		res, err := core.Run(core.Config{
 			System:          sys.Clone(),
@@ -201,18 +204,18 @@ func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, 
 		if res.DeadlineMisses > 0 {
 			return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
 		}
-		// Zero MaxStep selects the analytic fast path for the closed-form
-		// models (whole segments + per-repetition transfer operators); the
-		// stochastic model falls back to 1 s stepping.
-		br, err := battery.SimulateUntilExhausted(cfg.Battery(), res.Profile, battery.SimulateOptions{
+		// Zero MaxStep selects the analytic fast path (whole segments +
+		// per-repetition transfer operators; since the stochastic fast path,
+		// for every registered model).
+		brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
 			MaxTime: cfg.MaxBatteryHours * 3600,
 		})
 		if err != nil {
 			return nil, err
 		}
 		cells[i] = table2Cell{
-			charge:  br.DeliveredMAh(),
-			life:    br.LifetimeMinutes(),
+			charge:  brs[0].DeliveredMAh(),
+			life:    brs[0].LifetimeMinutes(),
 			energy:  res.EnergyBattery / float64(cfg.Hyperperiods),
 			current: res.Profile.AverageCurrent(),
 		}
