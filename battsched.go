@@ -48,6 +48,10 @@ type (
 	// FixedFractionExecution takes a fixed fraction of the WCET, optionally
 	// overridden per node name.
 	FixedFractionExecution = taskgraph.FixedFractionExecution
+	// RecordedExecution wraps an ExecutionModel, records the draws of one
+	// realisation, and replays them bit-exactly — the mechanism for running
+	// several schemes on identical actual execution times.
+	RecordedExecution = taskgraph.RecordedExecution
 )
 
 // NewGraph returns an empty task graph with the given name and period.
@@ -60,6 +64,13 @@ func NewSystem(graphs ...*Graph) *System { return taskgraph.NewSystem(graphs...)
 // drawn uniformly in [minFrac, maxFrac]*WCET.
 func NewUniformExecution(minFrac, maxFrac float64, seed int64) *UniformExecution {
 	return taskgraph.NewUniformExecution(minFrac, maxFrac, seed)
+}
+
+// NewRecordedExecution wraps inner in recording mode: the first simulation
+// records every draw, and Replay rewinds so subsequent simulations observe
+// the identical realisation regardless of scheme or DVS algorithm.
+func NewRecordedExecution(inner ExecutionModel) *RecordedExecution {
+	return taskgraph.NewRecordedExecution(inner)
 }
 
 // Random workload generation (see internal/tgff).
@@ -161,6 +172,10 @@ type (
 	ReadyPolicy = core.ReadyPolicy
 	// FrequencyMode selects continuous or discrete frequency realisation.
 	FrequencyMode = core.FrequencyMode
+	// SimEngine is the reusable scheduling engine: Reset(Config) then Run,
+	// repeatedly, reusing all scratch state — near zero allocations per run.
+	// One-shot Run is the convenience wrapper over a throwaway SimEngine.
+	SimEngine = core.Engine
 )
 
 // Ready-list policies and frequency modes.
@@ -183,6 +198,11 @@ const (
 
 // Run executes one scheduling simulation.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// NewSimEngine returns an empty reusable engine. Reset it with a Config
+// before each Run; results are byte-identical to one-shot Run with the same
+// Config. See internal/core.Engine for the reuse and aliasing contract.
+func NewSimEngine() *SimEngine { return core.NewEngine() }
 
 // Execution traces and load profiles.
 type (

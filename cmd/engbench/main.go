@@ -4,15 +4,42 @@
 // The engine report (BENCH_engine.json): ns/op, allocs/op and bytes/op of
 // one BAS-2 hyperperiod under each observer sink — full profile+trace
 // recording (the default, what the interactive CLIs use), profile-only, and
-// the no-op sink experiment sweeps use. alloc_ratio and speedup_ns compare
-// the recorded sink against the no-op sink, i.e. the cost of recording in
-// the current engine; CI tracks them to catch recording-cost regressions.
+// the no-op sink experiment sweeps use — plus the reused row: the same
+// profile-only run on one reused core.Engine + ProfileRecorder Reset per
+// iteration, the experiment drivers' steady state since the reusable engine.
+// alloc_ratio and speedup_ns compare the recorded sink against the no-op
+// sink, i.e. the cost of recording in the current engine; CI tracks them to
+// catch recording-cost regressions.
+//
+// The engine report also carries the grid row: the scheduling sweep of a
+// quick scenario-grid pass (sets × all five Table 2 schemes, load profiles
+// recorded) through the chunked driver loop — each task set generated once,
+// scheme 0 recording the execution realisation and the other schemes
+// replaying it on one reused engine and recorder — timed against the
+// pre-refactor driver shape, which regenerated the system and ran a fresh
+// one-shot core.Run with a fresh recorder and execution model per
+// (set, scheme). Both loops are checked to produce bit-identical energy
+// totals before timing; sets/sec, ns/set and allocs/set quantify the reuse
+// win and CI gates the speedup. (Battery lifetime evaluation is excluded:
+// both shapes do identical battery work, which BENCH_battery.json tracks.)
 //
 // (The pre-refactor engine, which recorded unconditionally and allocated on
 // every scheduling decision, measured ~1152 allocs/op on this workload; the
-// refactored engine measures ~90 with the no-op sink — that before/after
-// comparison is pinned in CHANGES.md, not re-measurable here since the old
-// engine is gone.)
+// refactored one-shot engine measures ~90 with the no-op sink, and the
+// reused engine ~1 — the one-shot before/after comparison is pinned in
+// CHANGES.md, not re-measurable here since the old engine is gone.)
+//
+// With -baseline pointing at the committed BENCH_engine.json, engbench diffs
+// the fresh measurements against it and exits nonzero when any tracked
+// allocs/op figure regresses past a 1.10 noise factor (allocation counts are
+// runner-independent); ns/op drift past the factor is reported on stderr but
+// does not gate, because wall-clock varies with runner speed across machines.
+// The hard wall-clock gates are same-run ratios, where machine speed cancels:
+// independent of any baseline, engbench exits nonzero unless the reused row
+// stays at <= 10 allocs/op, the grid row's speedup over the pre-refactor
+// driver shape stays >= 1.5 with at least a 3x allocation win, and the
+// 4-model battery batch pass stays at <= 10 allocs/op without allocating
+// more than the scalar passes it replaces.
 //
 // The battery report (BENCH_battery.json, -battery-o): ns/op of a full 72 h
 // lifetime simulation per battery model on a representative periodic load,
@@ -23,7 +50,7 @@
 // comparing one SimulateBatch pass over N models against N sequential scalar
 // passes (fresh instance per pass, the pre-batch driver behaviour); engbench
 // exits nonzero if a batch pass is slower than the scalar passes it replaces
-// (beyond a 1.10 noise factor), so CI catches batch regressions directly.
+// (beyond a 1.10 noise factor) or allocates more than they did.
 //
 // The service report (BENCH_service.json, -service-o): BenchmarkServiceSubmit
 // — end-to-end latency of submitting a quick Table 2 spec to an in-process
@@ -33,12 +60,17 @@
 // identical spec. CI tracks the hit latency and the speedup to catch cache
 // and queue-path regressions.
 //
+// -cpuprofile and -memprofile write runtime/pprof profiles of the whole
+// benchmark run for `go tool pprof`.
+//
 // Usage:
 //
 //	engbench                              # engine JSON on stdout
 //	engbench -o BENCH_engine.json
+//	engbench -o BENCH_engine.json.new -baseline BENCH_engine.json
 //	engbench -engine=false -battery-o BENCH_battery.json
 //	engbench -engine=false -service-o BENCH_service.json
+//	engbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -46,6 +78,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http/httptest"
 	"os"
@@ -61,6 +94,7 @@ import (
 	"battsched/internal/dvs"
 	"battsched/internal/priority"
 	"battsched/internal/profile"
+	"battsched/internal/profutil"
 	"battsched/internal/service"
 	"battsched/internal/service/client"
 	"battsched/internal/taskgraph"
@@ -75,6 +109,35 @@ type measurement struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// gridMeasurement is the quick-grid throughput comparison: the chunked
+// cross-scheme driver loop against the pre-refactor per-(set, scheme) shape.
+type gridMeasurement struct {
+	// Sets, Graphs and Schemes describe the workload: Sets task-graph sets
+	// of Graphs graphs each (the quick grid's GraphsPerSet), each scheduled
+	// under every scheme with its load profile recorded. Battery lifetime
+	// evaluation is excluded — it is identical work in both driver shapes
+	// and is tracked by BENCH_battery.json instead.
+	Sets    int `json:"sets"`
+	Graphs  int `json:"graphs"`
+	Schemes int `json:"schemes"`
+	// NsPerSet and AllocsPerSet are the reused driver loop (one system +
+	// recorded execution realisation + one reused engine and profile
+	// recorder shared across all schemes of a set), per task set.
+	NsPerSet     float64 `json:"ns_per_set"`
+	AllocsPerSet int64   `json:"allocs_per_set"`
+	// SetsPerSec is the reused loop's throughput in task sets per second.
+	SetsPerSec float64 `json:"sets_per_sec"`
+	// FreshNsPerSet and FreshAllocsPerSet are the pre-refactor driver shape:
+	// per (set, scheme), regenerate the system and run a fresh one-shot
+	// core.Run with a fresh profile recorder, execution model and battery
+	// instances.
+	FreshNsPerSet     float64 `json:"fresh_ns_per_set"`
+	FreshAllocsPerSet int64   `json:"fresh_allocs_per_set"`
+	// Speedup is FreshNsPerSet / NsPerSet — the wall-clock win of the
+	// engine-reuse restructure on a grid-shaped workload.
+	Speedup float64 `json:"speedup"`
+}
+
 // report is the emitted JSON document.
 type report struct {
 	Benchmark string `json:"benchmark"`
@@ -86,6 +149,14 @@ type report struct {
 	Profile measurement `json:"profile"`
 	// Discard is the no-op sink run (the experiment-sweep hot path).
 	Discard measurement `json:"discard"`
+	// Reused is the profile-only run on one reused Engine + ProfileRecorder
+	// (Reset per iteration instead of a fresh one-shot Run) — the experiment
+	// drivers' steady state. Scratch state, free list, estimator history and
+	// profile storage survive across iterations, so allocations collapse to
+	// the per-run Result header; CI gates this at <= 10 allocs/op.
+	Reused measurement `json:"reused"`
+	// Grid is the quick-grid throughput row; CI gates Speedup >= 1.5.
+	Grid gridMeasurement `json:"grid"`
 	// AllocRatio is Recorded.AllocsPerOp / Discard.AllocsPerOp: the
 	// allocation cost of full recording relative to the bare engine.
 	AllocRatio float64 `json:"alloc_ratio"`
@@ -144,6 +215,16 @@ type batteryReport struct {
 	Batch     []batchMeasurement   `json:"batch"`
 }
 
+// batteryFactories returns the four model families in their default modes.
+func batteryFactories() []func() battery.Model {
+	return []func() battery.Model{
+		func() battery.Model { return kibam.Default() },
+		func() battery.Model { return diffusion.Default() },
+		func() battery.Model { return peukert.Default() },
+		func() battery.Model { return stochastic.Default() },
+	}
+}
+
 // benchBattery measures full 72 h lifetime simulations of every battery
 // model on a representative periodic load, stepped versus analytic.
 func benchBattery() batteryReport {
@@ -167,29 +248,19 @@ func benchBattery() batteryReport {
 		return float64(r.T.Nanoseconds()) / float64(r.N), life
 	}
 
-	models := []struct {
-		name     string
-		factory  func() battery.Model
-		analytic bool
-	}{
-		{"kibam", func() battery.Model { return kibam.Default() }, true},
-		{"diffusion", func() battery.Model { return diffusion.Default() }, true},
-		{"peukert", func() battery.Model { return peukert.Default() }, true},
-		{"stochastic", func() battery.Model { return stochastic.Default() }, true},
-	}
+	factories := batteryFactories()
+	names := []string{"kibam", "diffusion", "peukert", "stochastic"}
 	rep := batteryReport{
 		Benchmark: "BatteryLifetime/72h-horizon",
 		Profile:   "periodic 60.2 s load: 33.4 s @ 1.2 A, 21.7 s @ 0.4 A, 5.1 s @ 0.01 A",
 	}
-	for _, m := range models {
+	for i, factory := range factories {
 		var meas batteryMeasurement
-		meas.Model = m.name
-		meas.SteppedNsPerOp, meas.SteppedLifetimeMin = measure(m.factory, battery.SimulateOptions{MaxStep: 2})
-		if m.analytic {
-			meas.AnalyticNsPerOp, meas.AnalyticLifetimeMin = measure(m.factory, battery.SimulateOptions{})
-			if meas.AnalyticNsPerOp > 0 {
-				meas.Speedup = meas.SteppedNsPerOp / meas.AnalyticNsPerOp
-			}
+		meas.Model = names[i]
+		meas.SteppedNsPerOp, meas.SteppedLifetimeMin = measure(factory, battery.SimulateOptions{MaxStep: 2})
+		meas.AnalyticNsPerOp, meas.AnalyticLifetimeMin = measure(factory, battery.SimulateOptions{})
+		if meas.AnalyticNsPerOp > 0 {
+			meas.Speedup = meas.SteppedNsPerOp / meas.AnalyticNsPerOp
 		}
 		rep.Models = append(rep.Models, meas)
 	}
@@ -201,7 +272,7 @@ func benchBattery() batteryReport {
 		opts := battery.SimulateOptions{MaxTime: 72 * 3600}
 		instances := make([]battery.Model, n)
 		for i := range instances {
-			instances[i] = models[i%len(models)].factory()
+			instances[i] = factories[i%len(factories)]()
 		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -219,7 +290,7 @@ func benchBattery() batteryReport {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					for j := 0; j < n; j++ {
-						if _, err := battery.SimulateUntilExhausted(models[j%len(models)].factory(), p, o); err != nil {
+						if _, err := battery.SimulateUntilExhausted(factories[j%len(factories)](), p, o); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -239,6 +310,360 @@ func benchBattery() batteryReport {
 	}
 	rep.Batch = []batchMeasurement{measureBatch(4), measureBatch(16)}
 	return rep
+}
+
+// gridScheme is one Table 2 scheme of the quick-grid workload (a local copy
+// of the experiment drivers' scheme table; fresh DVS/priority instances per
+// run mirror the driver loops exactly).
+type gridScheme struct {
+	name   string
+	alg    func() dvs.Algorithm
+	prio   func() priority.Function
+	policy core.ReadyPolicy
+}
+
+func gridSchemes() []gridScheme {
+	random := func() priority.Function { return priority.NewRandom() }
+	pubs := func() priority.Function { return priority.NewPUBS() }
+	return []gridScheme{
+		{"EDF", func() dvs.Algorithm { return dvs.NewNoDVS() }, random, core.MostImminentOnly},
+		{"ccEDF", func() dvs.Algorithm { return dvs.NewCCEDF() }, random, core.MostImminentOnly},
+		{"laEDF", func() dvs.Algorithm { return dvs.NewLAEDF() }, random, core.MostImminentOnly},
+		{"BAS-1", func() dvs.Algorithm { return dvs.NewLAEDF() }, pubs, core.MostImminentOnly},
+		{"BAS-2", func() dvs.Algorithm { return dvs.NewLAEDF() }, pubs, core.AllReleased},
+	}
+}
+
+// benchGrid times the scheduling sweep of a quick scenario-grid pass (sets ×
+// all five Table 2 schemes, profiles recorded for the battery stage) through
+// the chunked cross-scheme driver loop and through the pre-refactor
+// per-(set, scheme) shape, after checking that both produce bit-identical
+// energy totals. Battery lifetime evaluation is deliberately excluded: it is
+// identical work in both shapes (the restructure shares scheduling, not
+// battery physics) and has its own report and gates in BENCH_battery.json —
+// including it would only dilute the engine-throughput signal it exists to
+// track.
+func benchGrid() gridMeasurement {
+	// The quick scenario grid's workload shape: small 3-graph sets, where the
+	// per-run costs the reusable engine amortises (system generation,
+	// validation, allocation) are a meaningful share of each run.
+	const (
+		sets   = 8
+		graphs = 3
+	)
+	schemes := gridSchemes()
+	cfgFor := func(sys *taskgraph.System, s gridScheme, exec taskgraph.ExecutionModel, sink core.SegmentSink, seed int64) core.Config {
+		return core.Config{
+			System:        sys,
+			DVS:           s.alg(),
+			Priority:      s.prio(),
+			ReadyPolicy:   s.policy,
+			FrequencyMode: core.DiscreteFrequency,
+			Execution:     exec,
+			Hyperperiods:  1,
+			Seed:          seed,
+			Observer:      sink,
+		}
+	}
+	seedFor := func(set int) int64 { return int64(1000 + set) }
+
+	// reusedPass is the chunked driver loop of the experiments package: each
+	// set's system and execution realisation are produced once; every scheme
+	// replays them on one reused engine and profile recorder.
+	reusedPass := func() (float64, error) {
+		var sum float64
+		eng := core.NewEngine()
+		rec := core.NewProfileRecorder()
+		uni := taskgraph.NewUniformExecution(0.2, 1.0, 0)
+		exec := taskgraph.NewRecordedExecution(uni)
+		for set := 0; set < sets; set++ {
+			seed := seedFor(set)
+			sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), graphs, 0.7, 1e9, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return 0, err
+			}
+			uni.Reseed(seed)
+			exec.Restart(uni)
+			for si, s := range schemes {
+				if si > 0 {
+					exec.Replay()
+				}
+				rec.Reset()
+				if err := eng.Reset(cfgFor(sys, s, exec, rec, seed)); err != nil {
+					return 0, err
+				}
+				res, err := eng.Run()
+				if err != nil {
+					return 0, err
+				}
+				sum += res.EnergyBattery + res.Profile.AverageCurrent()
+			}
+		}
+		return sum, nil
+	}
+
+	// freshPass is the pre-refactor driver shape: jobs were (scheme, chunk)
+	// cells, so every (set, scheme) pair regenerated the task system and ran
+	// a fresh one-shot core.Run with a fresh profile recorder and execution
+	// model.
+	freshPass := func() (float64, error) {
+		var sum float64
+		for set := 0; set < sets; set++ {
+			seed := seedFor(set)
+			for _, s := range schemes {
+				sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), graphs, 0.7, 1e9, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.Run(cfgFor(sys, s, taskgraph.NewUniformExecution(0.2, 1.0, seed), core.NewProfileRecorder(), seed))
+				if err != nil {
+					return 0, err
+				}
+				sum += res.EnergyBattery + res.Profile.AverageCurrent()
+			}
+		}
+		return sum, nil
+	}
+
+	// Both loops must simulate the same physics: the recorded realisation
+	// replayed for schemes 1..N equals the fresh per-scheme draws bit-exactly
+	// (the comparability contract pinned by the core reuse tests).
+	reusedSum, err := reusedPass()
+	if err == nil {
+		var freshSum float64
+		freshSum, err = freshPass()
+		if err == nil && math.Float64bits(reusedSum) != math.Float64bits(freshSum) {
+			err = fmt.Errorf("grid comparator mismatch: reused loop lifetime total %v != fresh loop %v", reusedSum, freshSum)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+
+	measure := func(pass func() (float64, error)) (float64, int64) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pass(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N) / sets, r.AllocsPerOp() / sets
+	}
+
+	// Alternating min-of-3 rounds: the speedup is a gated ratio, and a single
+	// pair of ~1 s measurements is exposed to GC pauses and CPU-load drift
+	// between the two loops; the minimum of interleaved rounds approximates
+	// each loop's true cost, so the ratio stays stable across runs.
+	gm := gridMeasurement{Sets: sets, Graphs: graphs, Schemes: len(schemes), NsPerSet: math.Inf(1), FreshNsPerSet: math.Inf(1)}
+	for round := 0; round < 3; round++ {
+		ns, al := measure(reusedPass)
+		gm.NsPerSet = math.Min(gm.NsPerSet, ns)
+		gm.AllocsPerSet = al
+		ns, al = measure(freshPass)
+		gm.FreshNsPerSet = math.Min(gm.FreshNsPerSet, ns)
+		gm.FreshAllocsPerSet = al
+	}
+	if gm.NsPerSet > 0 {
+		gm.SetsPerSec = 1e9 / gm.NsPerSet
+		gm.Speedup = gm.FreshNsPerSet / gm.NsPerSet
+	}
+	return gm
+}
+
+// benchEngine measures one BAS-2 hyperperiod under each observer sink plus
+// the reused-engine row and the quick-grid throughput row.
+func benchEngine(graphs int) report {
+	rng := rand.New(rand.NewSource(99))
+	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), graphs, 0.7, 1e9, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+
+	run := func(sink func() core.SegmentSink) measurement {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					System:        sys,
+					DVS:           dvs.NewLAEDF(),
+					Priority:      priority.NewPUBS(),
+					ReadyPolicy:   core.AllReleased,
+					FrequencyMode: core.DiscreteFrequency,
+					Execution:     taskgraph.NewUniformExecution(0.2, 1.0, int64(i)),
+					Hyperperiods:  1,
+					Seed:          int64(i),
+					Observer:      sink(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DeadlineMisses != 0 {
+					b.Fatal("deadline miss")
+				}
+			}
+		})
+		return measurement{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	// runReused is the same workload on one reused Engine + ProfileRecorder,
+	// Reset per iteration (Config.Execution stays nil, so the engine-owned
+	// execution model is reseeded with cfg.Seed — exactly what the one-shot
+	// rows' fresh NewUniformExecution(0.2, 1.0, seed) draws).
+	runReused := func() measurement {
+		eng := core.NewEngine()
+		rec := core.NewProfileRecorder()
+		cfg := core.Config{
+			System:        sys,
+			DVS:           dvs.NewLAEDF(),
+			Priority:      priority.NewPUBS(),
+			ReadyPolicy:   core.AllReleased,
+			FrequencyMode: core.DiscreteFrequency,
+			Hyperperiods:  1,
+			Observer:      rec,
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.Reset()
+				cfg.Seed = int64(i)
+				if err := eng.Reset(cfg); err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DeadlineMisses != 0 {
+					b.Fatal("deadline miss")
+				}
+			}
+		})
+		return measurement{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	rep := report{
+		Benchmark: "EngineRun/BAS-2/1-hyperperiod",
+		Workload:  fmt.Sprintf("%d random task graphs, utilisation 0.7, discrete frequencies", graphs),
+		Recorded:  run(func() core.SegmentSink { return core.NewRecorder() }),
+		Profile:   run(func() core.SegmentSink { return core.NewProfileRecorder() }),
+		Discard:   run(func() core.SegmentSink { return core.Discard }),
+		Reused:    runReused(),
+		Grid:      benchGrid(),
+	}
+	if rep.Discard.AllocsPerOp > 0 {
+		rep.AllocRatio = float64(rep.Recorded.AllocsPerOp) / float64(rep.Discard.AllocsPerOp)
+	}
+	if rep.Discard.NsPerOp > 0 {
+		rep.SpeedupNs = rep.Recorded.NsPerOp / rep.Discard.NsPerOp
+	}
+	return rep
+}
+
+// engineGates checks the structural invariants of a fresh engine report and
+// returns a violation message per breach. These hold regardless of any
+// committed baseline: the reused driver path must stay allocation-free
+// (modulo the Result header) and must stay well ahead of the pre-refactor
+// per-(set, scheme) driver shape.
+func engineGates(rep report) []string {
+	var v []string
+	if rep.Reused.AllocsPerOp > 10 {
+		v = append(v, fmt.Sprintf("reused engine allocates %d allocs/op (> 10): Reset no longer preserves scratch capacity", rep.Reused.AllocsPerOp))
+	}
+	if rep.Grid.Speedup < 1.5 {
+		v = append(v, fmt.Sprintf("quick-grid speedup %.2fx over the pre-refactor driver shape (< 1.5x)", rep.Grid.Speedup))
+	}
+	// The alloc collapse is the robust signature of the restructure (ns
+	// ratios wobble with runner noise; allocation counts do not): the
+	// per-(set, scheme) fresh shape must allocate at least 3x what the
+	// reused loop does.
+	if rep.Grid.AllocsPerSet*3 > rep.Grid.FreshAllocsPerSet {
+		v = append(v, fmt.Sprintf("quick-grid reused loop allocates %d allocs/set vs %d fresh (< 3x win)", rep.Grid.AllocsPerSet, rep.Grid.FreshAllocsPerSet))
+	}
+	return v
+}
+
+// batteryGates checks the batch-API invariants of a fresh battery report.
+func batteryGates(rep batteryReport) []string {
+	var v []string
+	for _, bm := range rep.Batch {
+		// A batch pass must never be slower than the N sequential scalar
+		// passes it replaces. The 1.10 factor absorbs benchmark noise on
+		// shared CI runners; a genuine regression (batch overhead outgrowing
+		// its shared-clock win) blows well past it.
+		if bm.BatchNsPerOp > bm.ScalarNsPerOp*1.10 {
+			v = append(v, fmt.Sprintf("batch regression: SimulateBatch of %d models took %.0f ns/op vs %.0f ns/op for %d sequential scalar passes (>1.10x)",
+				bm.Models, bm.BatchNsPerOp, bm.ScalarNsPerOp, bm.Models))
+		}
+		// Instance reuse means a batch pass allocates strictly less than the
+		// fresh-instance scalar passes it replaces.
+		if bm.BatchAllocsPerOp > bm.ScalarAllocsPerOp {
+			v = append(v, fmt.Sprintf("batch regression: SimulateBatch of %d models allocates %d allocs/op vs %d for the scalar passes",
+				bm.Models, bm.BatchAllocsPerOp, bm.ScalarAllocsPerOp))
+		}
+		// The 4-model pass is the experiment drivers' shape; its 10-alloc
+		// budget (result slice + per-model result headers) is pinned in CI.
+		if bm.Models == 4 && bm.BatchAllocsPerOp > 10 {
+			v = append(v, fmt.Sprintf("batch regression: 4-model SimulateBatch pass allocates %d allocs/op (> 10)", bm.BatchAllocsPerOp))
+		}
+	}
+	return v
+}
+
+// compareBaseline diffs a fresh engine report against the committed baseline
+// and returns one violation message per allocation figure that regressed past
+// the 1.10 noise factor (with an absolute slack of one alloc, so tiny counts
+// like the reused row's single Result allocation don't trip on integer
+// jitter). Allocation counts are runner-independent, so they gate hard;
+// wall-clock figures vary with runner speed and load across machines, so ns
+// drift past the noise factor is only reported on stderr — the hard
+// wall-clock gates are the same-run ratios in engineGates, where machine
+// speed cancels.
+func compareBaseline(cur report, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	const noise = 1.10
+	var regs []string
+	ns := func(name string, cur, base float64) {
+		if base > 0 && cur > base*noise {
+			fmt.Fprintf(os.Stderr, "engbench: note: %s: %.0f ns vs baseline %.0f (>%.2fx; informational — runner speed varies)\n", name, cur, base, noise)
+		}
+	}
+	allocs := func(name string, cur, base int64) {
+		if base >= 0 && cur > base+1 && float64(cur) > float64(base)*noise {
+			regs = append(regs, fmt.Sprintf("%s: %d allocs vs baseline %d (>%.2fx)", name, cur, base, noise))
+		}
+	}
+	ns("recorded ns/op", cur.Recorded.NsPerOp, base.Recorded.NsPerOp)
+	ns("profile ns/op", cur.Profile.NsPerOp, base.Profile.NsPerOp)
+	ns("discard ns/op", cur.Discard.NsPerOp, base.Discard.NsPerOp)
+	ns("reused ns/op", cur.Reused.NsPerOp, base.Reused.NsPerOp)
+	ns("grid ns/set", cur.Grid.NsPerSet, base.Grid.NsPerSet)
+	allocs("recorded allocs/op", cur.Recorded.AllocsPerOp, base.Recorded.AllocsPerOp)
+	allocs("profile allocs/op", cur.Profile.AllocsPerOp, base.Profile.AllocsPerOp)
+	allocs("discard allocs/op", cur.Discard.AllocsPerOp, base.Discard.AllocsPerOp)
+	allocs("reused allocs/op", cur.Reused.AllocsPerOp, base.Reused.AllocsPerOp)
+	allocs("grid allocs/set", cur.Grid.AllocsPerSet, base.Grid.AllocsPerSet)
+	return regs, nil
 }
 
 // serviceReport is the emitted BENCH_service.json document.
@@ -337,11 +762,16 @@ func writeJSON(doc any, path string) {
 func main() {
 	out := flag.String("o", "", "write the engine JSON report to this file (default stdout)")
 	engine := flag.Bool("engine", true, "run the engine benchmark")
+	baseline := flag.String("baseline", "", "compare the engine report against this committed BENCH_engine.json and exit nonzero on a >1.10x ns/op or allocs/op regression")
 	batteryOut := flag.String("battery-o", "", "also run the battery lifetime benchmark and write its JSON report to this file (\"-\" selects stdout)")
 	serviceOut := flag.String("service-o", "", "also run BenchmarkServiceSubmit (cold vs cache-hit daemon latency) and write its JSON report to this file (\"-\" selects stdout)")
 	graphs := flag.Int("graphs", 5, "task graphs in the benchmark workload")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the benchmark run to this file")
 	flag.Parse()
+	stopProfiles := profutil.MustStart(*cpuProfile, *memProfile)
 
+	var violations []string
 	if *batteryOut != "" {
 		path := *batteryOut
 		if path == "-" {
@@ -349,18 +779,7 @@ func main() {
 		}
 		brep := benchBattery()
 		writeJSON(brep, path)
-		// Regression gate: a batch pass must never be slower than the N
-		// sequential scalar passes it replaces. The 1.10 factor absorbs
-		// benchmark noise on shared CI runners; a genuine regression (batch
-		// overhead outgrowing its shared-clock win) blows well past it.
-		for _, bm := range brep.Batch {
-			if bm.BatchNsPerOp > bm.ScalarNsPerOp*1.10 {
-				fmt.Fprintf(os.Stderr,
-					"engbench: batch regression: SimulateBatch of %d models took %.0f ns/op vs %.0f ns/op for %d sequential scalar passes (>1.10x)\n",
-					bm.Models, bm.BatchNsPerOp, bm.ScalarNsPerOp, bm.Models)
-				os.Exit(1)
-			}
-		}
+		violations = append(violations, batteryGates(brep)...)
 	}
 	if *serviceOut != "" {
 		path := *serviceOut
@@ -369,61 +788,25 @@ func main() {
 		}
 		writeJSON(benchService(), path)
 	}
-	if !*engine {
-		return
-	}
-
-	rng := rand.New(rand.NewSource(99))
-	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), *graphs, 0.7, 1e9, rng)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "engbench:", err)
-		os.Exit(1)
-	}
-
-	run := func(sink func() core.SegmentSink) measurement {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := core.Run(core.Config{
-					System:        sys,
-					DVS:           dvs.NewLAEDF(),
-					Priority:      priority.NewPUBS(),
-					ReadyPolicy:   core.AllReleased,
-					FrequencyMode: core.DiscreteFrequency,
-					Execution:     taskgraph.NewUniformExecution(0.2, 1.0, int64(i)),
-					Hyperperiods:  1,
-					Seed:          int64(i),
-					Observer:      sink(),
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if res.DeadlineMisses != 0 {
-					b.Fatal("deadline miss")
-				}
+	if *engine {
+		rep := benchEngine(*graphs)
+		writeJSON(rep, *out)
+		violations = append(violations, engineGates(rep)...)
+		if *baseline != "" {
+			regs, err := compareBaseline(rep, *baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "engbench:", err)
+				os.Exit(1)
 			}
-		})
-		return measurement{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+			violations = append(violations, regs...)
 		}
 	}
 
-	rep := report{
-		Benchmark: "EngineRun/BAS-2/1-hyperperiod",
-		Workload:  fmt.Sprintf("%d random task graphs, utilisation 0.7, discrete frequencies", *graphs),
-		Recorded:  run(func() core.SegmentSink { return core.NewRecorder() }),
-		Profile:   run(func() core.SegmentSink { return core.NewProfileRecorder() }),
-		Discard:   run(func() core.SegmentSink { return core.Discard }),
+	stopProfiles()
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "engbench: regression:", v)
+		}
+		os.Exit(1)
 	}
-	if rep.Discard.AllocsPerOp > 0 {
-		rep.AllocRatio = float64(rep.Recorded.AllocsPerOp) / float64(rep.Discard.AllocsPerOp)
-	}
-	if rep.Discard.NsPerOp > 0 {
-		rep.SpeedupNs = rep.Recorded.NsPerOp / rep.Discard.NsPerOp
-	}
-
-	writeJSON(rep, *out)
 }

@@ -42,6 +42,10 @@
 // The -quick flag runs reduced versions (the same configurations the
 // benchmark harness uses); the full versions match the parameters recorded in
 // EXPERIMENTS.md.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of a local run
+// (run or the legacy flag interface) for `go tool pprof`; submit rejects
+// them because its compute happens on the daemon.
 package main
 
 import (
@@ -54,6 +58,7 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/profutil"
 	"battsched/internal/service"
 	"battsched/internal/service/client"
 )
@@ -118,6 +123,8 @@ type runnerFlags struct {
 	maxSets  int
 	shard    string
 	out      string
+	cpuProf  string
+	memProf  string
 }
 
 // register wires the shared flags into a FlagSet.
@@ -137,6 +144,8 @@ func (f *runnerFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.maxSets, "max-sets", 0, "hard cap on adaptively grown set counts (0: 8x the configured count; only with -ci)")
 	fs.StringVar(&f.shard, "shard", "", "run only shard i of n (\"i/n\") of the absolute set indices and emit a partial report; combine with the merge subcommand")
 	fs.StringVar(&f.out, "o", "", "write the run's structured reports to this JSON artifact")
+	fs.StringVar(&f.cpuProf, "cpuprofile", "", "write a runtime/pprof CPU profile of the local run to this file")
+	fs.StringVar(&f.memProf, "memprofile", "", "write a runtime/pprof allocation profile of the local run to this file")
 }
 
 // spec builds the experiment Spec the flags describe.
@@ -288,6 +297,9 @@ func cmdSubmit(args []string, stdout io.Writer) error {
 	if f.parallel != 0 {
 		return fmt.Errorf("submit: -parallel is daemon-owned (start battschedd with -parallel)")
 	}
+	if f.cpuProf != "" || f.memProf != "" {
+		return fmt.Errorf("submit: -cpuprofile/-memprofile profile local runs; the compute happens on the daemon")
+	}
 	spec, err := f.spec()
 	if err != nil {
 		return err
@@ -392,8 +404,22 @@ func cmdSubmit(args []string, stdout io.Writer) error {
 }
 
 // execute runs the named experiments in order, prints each rendered table and
-// writes the artifact when requested.
+// writes the artifact when requested. -cpuprofile/-memprofile profile the
+// whole run (runtime/pprof), profiles flushed after the last experiment.
 func execute(names []string, f runnerFlags, stdout io.Writer) error {
+	stop, err := profutil.Start(f.cpuProf, f.memProf)
+	if err != nil {
+		return err
+	}
+	err = executeAll(names, f, stdout)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// executeAll is execute without the profiling envelope.
+func executeAll(names []string, f runnerFlags, stdout io.Writer) error {
 	ctx := context.Background()
 	if f.timeout > 0 {
 		var cancel context.CancelFunc

@@ -66,3 +66,31 @@ func BenchmarkEngineRunProfile(b *testing.B) {
 func BenchmarkEngineRunRecorded(b *testing.B) {
 	benchEngineRun(b, func() SegmentSink { return NewRecorder() })
 }
+
+// BenchmarkEngineRunReused measures the steady-state Reset+Run cost of one
+// reused Engine with one reused ProfileRecorder — the experiment drivers' hot
+// path after the cross-scheme restructure. Scratch buffers, estimator history,
+// free list and profile storage all survive across iterations, so allocations
+// per op collapse to the fresh Result (vs ~90 for a one-shot Run).
+func BenchmarkEngineRunReused(b *testing.B) {
+	cfg := benchConfig(b, nil)
+	eng := NewEngine()
+	rec := NewProfileRecorder()
+	cfg.Observer = rec
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		cfg.Seed = int64(i)
+		if err := eng.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeadlineMisses != 0 {
+			b.Fatal("deadline miss")
+		}
+	}
+}

@@ -138,6 +138,9 @@ var (
 	ErrNilSystem  = errors.New("core: nil task-graph system")
 	ErrBadHorizon = errors.New("core: horizon must be positive")
 	ErrOverload   = errors.New("core: system utilisation exceeds 1 at fmax")
+	// ErrEngineNotReady is returned by Engine.Run when it is not preceded by a
+	// successful Engine.Reset (each Reset admits exactly one Run).
+	ErrEngineNotReady = errors.New("core: Engine.Run requires a successful Reset first")
 )
 
 // withDefaults returns a copy of the config with nil/zero fields replaced by

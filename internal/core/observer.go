@@ -74,6 +74,12 @@ var Discard SegmentSink = discardSink{}
 
 // ProfileRecorder records only the battery load-current profile — what the
 // battery-lifetime experiments need — skipping the execution trace.
+//
+// Profile aliasing contract: BuiltProfile (and hence Result.Profile of a run
+// observed by this sink) returns the recorder's own profile, not a copy. It is
+// valid until the next Reset, which truncates the profile in place to keep its
+// segment capacity. Callers that reuse a recorder across runs must finish with
+// the profile (evaluate batteries, copy it with Clone) before resetting.
 type ProfileRecorder struct {
 	p *profile.Profile
 }
@@ -86,6 +92,12 @@ func (r *ProfileRecorder) AppendSegment(s Segment) { r.p.Append(s.Duration, s.Cu
 
 // BuiltProfile implements ProfileProvider.
 func (r *ProfileRecorder) BuiltProfile() *profile.Profile { return r.p }
+
+// Reset truncates the recorded profile in place, keeping its segment capacity,
+// so a recorder reused across runs stops allocating once warmed up. Profiles
+// previously returned by BuiltProfile alias the reused storage and are
+// invalidated (see the type's aliasing contract).
+func (r *ProfileRecorder) Reset() { r.p.Reset() }
 
 // Recorder records the full execution history: the battery load-current
 // profile and the per-node execution trace. It is the default sink when
@@ -122,6 +134,16 @@ func (r *Recorder) BuiltProfile() *profile.Profile { return r.p }
 
 // BuiltTrace implements TraceProvider.
 func (r *Recorder) BuiltTrace() *trace.Trace { return r.t }
+
+// Reset truncates the recorded profile and trace in place, keeping their
+// capacity, so a recorder reused across runs stops allocating once warmed up.
+// Profiles and traces previously returned by BuiltProfile/BuiltTrace alias the
+// reused storage and are invalidated — copy (Clone) anything that must outlive
+// the reuse before resetting.
+func (r *Recorder) Reset() {
+	r.p.Reset()
+	r.t.Reset()
+}
 
 // buildLabels precomputes the per-(graph, node) labels trace-recording sinks
 // receive in Segment.Label: the node's name, or "<graph>.n<id>" when unnamed.

@@ -50,6 +50,34 @@ func newGraphStatsCollector(names []string) *graphStatsCollector {
 	return c
 }
 
+// reset rebinds the collector to names and zeroes all counters, reusing the
+// slices when their capacity suffices. Previously finalized GraphStats slices
+// alias c.stats and are invalidated by the reuse.
+func (c *graphStatsCollector) reset(names []string) {
+	n := len(names)
+	if cap(c.stats) < n {
+		c.stats = make([]GraphStats, n)
+		c.sums = make([]float64, n)
+		c.lax = make([]float64, n)
+		c.done = make([]int, n)
+	} else {
+		c.stats = c.stats[:n]
+		c.sums = c.sums[:n]
+		c.lax = c.lax[:n]
+		c.done = c.done[:n]
+		for i := range c.sums {
+			c.stats[i] = GraphStats{}
+			c.sums[i] = 0
+			c.lax[i] = 0
+			c.done[i] = 0
+		}
+	}
+	for i, nm := range names {
+		c.stats[i].GraphIndex = i
+		c.stats[i].Name = nm
+	}
+}
+
 // released records one released instance.
 func (c *graphStatsCollector) released(graph int) {
 	if graph >= 0 && graph < len(c.stats) {

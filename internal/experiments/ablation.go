@@ -119,6 +119,11 @@ func runEstimateAblationReport(ctx context.Context, cfg EstimateAblationConfig) 
 		{"pessimistic (X_k = WCET)", false, func() priority.Estimator { return priority.OracleEstimator{Fraction: 1} }},
 	}
 
+	// Each job shares one reused engine and one execution realisation across
+	// the baseline and every estimator variant: the baseline records the
+	// draws and the variants replay them (the engine's draw order does not
+	// depend on the priority function or estimator), exactly the values the
+	// previous per-run models seeded with the shared seed drew.
 	job := func(set int) (ablationSample, error) {
 		seed := runner.SeedFor(cfg.Seed, int64(set))
 		rng := runner.RNG(cfg.Seed, int64(set))
@@ -126,9 +131,11 @@ func runEstimateAblationReport(ctx context.Context, cfg EstimateAblationConfig) 
 		if err != nil {
 			return ablationSample{}, err
 		}
+		eng := core.NewEngine()
+		exec := taskgraph.NewRecordedExecution(taskgraph.NewUniformExecution(0.2, 1.0, seed))
 		runOne := func(prio priority.Function, oracle bool, est priority.Estimator) (*core.Result, error) {
-			return core.Run(core.Config{
-				System:          sys.Clone(),
+			if err := eng.Reset(core.Config{
+				System:          sys,
 				Processor:       proc,
 				DVS:             dvs.NewCCEDF(),
 				Priority:        prio,
@@ -136,12 +143,15 @@ func runEstimateAblationReport(ctx context.Context, cfg EstimateAblationConfig) 
 				FrequencyMode:   core.ContinuousFrequency,
 				OracleEstimates: oracle,
 				Estimator:       est,
-				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
+				Execution:       exec,
 				Hyperperiods:    cfg.Hyperperiods,
 				Seed:            seed,
 				// Only energies are compared; skip profile/trace recording.
 				Observer: core.Discard,
-			})
+			}); err != nil {
+				return nil, err
+			}
+			return eng.Run()
 		}
 		baseline, err := runOne(priority.NewRandom(), false, nil)
 		if err != nil {
@@ -156,6 +166,7 @@ func runEstimateAblationReport(ctx context.Context, cfg EstimateAblationConfig) 
 			if v.estimator != nil {
 				est = v.estimator()
 			}
+			exec.Replay()
 			res, err := runOne(priority.NewPUBS(), v.oracle, est)
 			if err != nil {
 				return ablationSample{}, err

@@ -106,7 +106,12 @@ type figure6Sample struct {
 }
 
 // figure6Job simulates the near-optimal baseline and every ordering scheme on
-// the workload of one (graph count, set) cell.
+// the workload of one (graph count, set) cell. All five runs share one reused
+// engine and one execution realisation: the baseline records the draws (the
+// precedence-stripped system has identical node counts, WCETs and periods, so
+// its draw order matches the constrained runs) and the ordering schemes
+// replay them — exactly the values a fresh per-run model seeded with the
+// shared seed would draw.
 func figure6Job(cfg Figure6Config, proc *processor.Model, alg func() dvs.Algorithm, schemes []figure6Scheme, count, set int) (figure6Sample, error) {
 	seed := runner.SeedFor(cfg.Seed, int64(count), int64(set))
 	rng := runner.RNG(cfg.Seed, int64(count), int64(set))
@@ -114,9 +119,11 @@ func figure6Job(cfg Figure6Config, proc *processor.Model, alg func() dvs.Algorit
 	if err != nil {
 		return figure6Sample{}, err
 	}
+	eng := core.NewEngine()
+	exec := taskgraph.NewRecordedExecution(taskgraph.NewUniformExecution(0.2, 1.0, seed))
 	// Near-optimal baseline: same workload with precedence removed,
 	// scheduled with pUBS over all released graphs and oracle estimates.
-	baseline, err := runScheme(sys.Clone(), alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, seed, true)
+	baseline, err := runScheme(eng, sys, proc, alg(), priority.NewPUBS(), core.AllReleased, true, true, cfg, exec, seed, true)
 	if err != nil {
 		return figure6Sample{}, err
 	}
@@ -125,7 +132,8 @@ func figure6Job(cfg Figure6Config, proc *processor.Model, alg func() dvs.Algorit
 	}
 	sample := figure6Sample{normalised: make([]float64, len(schemes)), ok: true}
 	for i, s := range schemes {
-		res, err := runScheme(sys.Clone(), alg(), s.prio(), s.policy, false, cfg.OracleEstimates, cfg, seed, true)
+		exec.Replay()
+		res, err := runScheme(eng, sys, proc, alg(), s.prio(), s.policy, false, cfg.OracleEstimates, cfg, exec, seed, true)
 		if err != nil {
 			return figure6Sample{}, err
 		}
@@ -285,13 +293,15 @@ func RunFigure6(ctx context.Context, cfg Figure6Config) ([]Figure6Row, error) {
 	return figure6RowsFromReport(rep), nil
 }
 
-// runScheme runs one simulation of the given workload under the given scheme.
-// stripPrecedence replaces the system with its precedence-free version (the
-// near-optimal baseline of Figure 6). oracle feeds pUBS the true actual
-// requirements. continuous selects the idealised continuous-frequency
-// processor used for energy-only comparisons.
-func runScheme(sys *taskgraph.System, alg dvs.Algorithm, prio priority.Function, policy core.ReadyPolicy,
-	stripPrecedence, oracle bool, cfg Figure6Config, seed int64, continuous bool) (*core.Result, error) {
+// runScheme runs one simulation of the given workload under the given scheme
+// on the job's reused engine. stripPrecedence replaces the system with its
+// precedence-free version (the near-optimal baseline of Figure 6). oracle
+// feeds pUBS the true actual requirements. continuous selects the idealised
+// continuous-frequency processor used for energy-only comparisons. exec is
+// the job-shared execution model (a RecordedExecution whose record/replay
+// state the caller controls).
+func runScheme(eng *core.Engine, sys *taskgraph.System, proc *processor.Model, alg dvs.Algorithm, prio priority.Function, policy core.ReadyPolicy,
+	stripPrecedence, oracle bool, cfg Figure6Config, exec taskgraph.ExecutionModel, seed int64, continuous bool) (*core.Result, error) {
 	if stripPrecedence {
 		sys = tgff.StripPrecedence(sys)
 	}
@@ -299,19 +309,22 @@ func runScheme(sys *taskgraph.System, alg dvs.Algorithm, prio priority.Function,
 	if continuous {
 		mode = core.ContinuousFrequency
 	}
-	return core.Run(core.Config{
+	if err := eng.Reset(core.Config{
 		System:          sys,
-		Processor:       defaultProcessor(),
+		Processor:       proc,
 		DVS:             alg,
 		Priority:        prio,
 		ReadyPolicy:     policy,
 		FrequencyMode:   mode,
 		OracleEstimates: oracle,
-		Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
+		Execution:       exec,
 		Hyperperiods:    cfg.Hyperperiods,
 		Seed:            seed,
 		// The figure only compares energies, which the engine accumulates
 		// itself: no profile or trace recording is needed.
 		Observer: core.Discard,
-	})
+	}); err != nil {
+		return nil, err
+	}
+	return eng.Run()
 }

@@ -94,14 +94,16 @@ type ScenarioGridRow struct {
 	DeadlineMisses int
 }
 
-// scenarioPartial is the mergeable result of one set-chunk job: per-battery
-// charge/lifetime accumulators (indexed like ScenarioGridConfig.Batteries)
-// plus the chunk's deadline misses. Battery models are not a job dimension —
-// the scheduling simulation does not depend on the battery, so each job
-// computes one load profile per set and evaluates every battery against it.
+// scenarioPartial is the mergeable result of one set-chunk job:
+// charge/lifetime accumulators indexed [scheme][battery] plus per-scheme
+// deadline misses. Neither schemes nor battery models are a job dimension —
+// the workload seed is scheme-independent (the comparability contract), so
+// each job generates every task set once, runs all schemes on one reused
+// engine replaying the recorded execution realisation, and evaluates every
+// battery against each scheme's load profile.
 type scenarioPartial struct {
-	charge, life []stats.Accumulator
-	misses       int
+	charge, life [][]stats.Accumulator // [si][bi]
+	misses       []int                 // [si]
 }
 
 // schemesByName resolves scheme names against the paper's Table 2 schemes;
@@ -160,9 +162,11 @@ func init() {
 }
 
 // runScenarioGridReport sweeps the (utilisation × battery × scheme) grid.
-// Jobs are (utilisation × scheme × set-chunk) cells: a job schedules its
-// chunk of sets sequentially and evaluates every battery model against each
-// set's load profile (the profile does not depend on the battery, so
+// Jobs are (utilisation × set-chunk) cells covering every scheme: a job
+// generates each task set of its chunk once, runs all schemes on one reused
+// engine (replaying the recorded execution realisation, which is
+// scheme-independent), and evaluates every battery model against each
+// scheme's load profile (the profile does not depend on the battery, so
 // batteries share the scheduling work). Chunk partials stream back in job
 // order and merge into per-cell accumulators (stats.Accumulator.Merge), so
 // the sweep is deterministic at any parallelism and never materialises the
@@ -211,22 +215,37 @@ func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report
 	}
 	proc := defaultProcessor()
 
-	// chunkJob simulates sets [setLo, setHi) of one (utilisation, scheme)
-	// cell and returns mergeable accumulators.
-	chunkJob := func(ui, si, setLo, setHi int) (scenarioPartial, error) {
+	// chunkJob simulates sets [setLo, setHi) of one utilisation point across
+	// every scheme and returns mergeable accumulators. Each task set is
+	// generated once; scheme 0 records the execution realisation (the draw
+	// order is scheme-independent, see taskgraph.RecordedExecution) and the
+	// remaining schemes replay it on the same reused engine, so the per-cell
+	// numbers are bit-identical to scheduling each (scheme, set) from scratch
+	// with the shared workload seed.
+	chunkJob := func(ui, setLo, setHi int) (scenarioPartial, error) {
 		util := cfg.Utilizations[ui]
-		scheme := schemes[si]
 		part := scenarioPartial{
-			charge: make([]stats.Accumulator, len(factories)),
-			life:   make([]stats.Accumulator, len(factories)),
+			charge: make([][]stats.Accumulator, len(schemes)),
+			life:   make([][]stats.Accumulator, len(schemes)),
+			misses: make([]int, len(schemes)),
+		}
+		for si := range schemes {
+			part.charge[si] = make([]stats.Accumulator, len(factories))
+			part.life[si] = make([]stats.Accumulator, len(factories))
 		}
 		// One model instance per battery for the whole chunk: every
 		// simulation Resets its models, so the instances are reused across
-		// sets instead of reallocated per (set, battery) evaluation.
+		// sets instead of reallocated per (set, battery) evaluation. The
+		// engine, profile recorder and execution model are likewise reused
+		// across every (set, scheme) run of the chunk.
 		models := make([]battery.Model, len(factories))
 		for bi, factory := range factories {
 			models[bi] = factory()
 		}
+		eng := core.NewEngine()
+		rec := core.NewProfileRecorder()
+		uni := taskgraph.NewUniformExecution(0.2, 1.0, 0)
+		exec := taskgraph.NewRecordedExecution(uni)
 		for set := setLo; set < setHi; set++ {
 			// The workload seed is shared by every (battery, scheme) cell of
 			// this utilisation point so cells stay comparable.
@@ -235,38 +254,49 @@ func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report
 			if err != nil {
 				return scenarioPartial{}, err
 			}
-			res, err := core.Run(core.Config{
-				System:          sys,
-				Processor:       proc,
-				DVS:             scheme.alg(),
-				Priority:        scheme.prio(),
-				ReadyPolicy:     scheme.policy,
-				FrequencyMode:   core.DiscreteFrequency,
-				OracleEstimates: cfg.OracleEstimates,
-				Execution:       taskgraph.NewUniformExecution(0.2, 1.0, seed),
-				Hyperperiods:    cfg.Hyperperiods,
-				Seed:            seed,
-				// The battery models need only the load profile; the trace
-				// is never recorded.
-				Observer: core.NewProfileRecorder(),
-			})
-			if err != nil {
-				return scenarioPartial{}, err
-			}
-			part.misses += res.DeadlineMisses
-			// The load profile is battery-independent; one batch pass over it
-			// evaluates the whole battery axis (zero MaxStep selects each
-			// model's analytic fast path) instead of re-scheduling — or even
-			// re-replaying the profile — per model.
-			brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
-				MaxTime: cfg.MaxBatteryHours * 3600,
-			})
-			if err != nil {
-				return scenarioPartial{}, err
-			}
-			for bi, br := range brs {
-				part.charge[bi].Add(br.DeliveredMAh())
-				part.life[bi].Add(br.LifetimeMinutes())
+			uni.Reseed(seed)
+			exec.Restart(uni)
+			for si, scheme := range schemes {
+				if si > 0 {
+					exec.Replay()
+				}
+				rec.Reset()
+				if err := eng.Reset(core.Config{
+					System:          sys,
+					Processor:       proc,
+					DVS:             scheme.alg(),
+					Priority:        scheme.prio(),
+					ReadyPolicy:     scheme.policy,
+					FrequencyMode:   core.DiscreteFrequency,
+					OracleEstimates: cfg.OracleEstimates,
+					Execution:       exec,
+					Hyperperiods:    cfg.Hyperperiods,
+					Seed:            seed,
+					// The battery models need only the load profile; the trace
+					// is never recorded.
+					Observer: rec,
+				}); err != nil {
+					return scenarioPartial{}, err
+				}
+				res, err := eng.Run()
+				if err != nil {
+					return scenarioPartial{}, err
+				}
+				part.misses[si] += res.DeadlineMisses
+				// The load profile is battery-independent; one batch pass over
+				// it evaluates the whole battery axis (zero MaxStep selects
+				// each model's analytic fast path) instead of re-scheduling —
+				// or even re-replaying the profile — per model.
+				brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
+					MaxTime: cfg.MaxBatteryHours * 3600,
+				})
+				if err != nil {
+					return scenarioPartial{}, err
+				}
+				for bi, br := range brs {
+					part.charge[si][bi].Add(br.DeliveredMAh())
+					part.life[si][bi].Add(br.LifetimeMinutes())
+				}
 			}
 		}
 		return part, nil
@@ -295,22 +325,27 @@ func runScenarioGridReport(ctx context.Context, cfg ScenarioGridConfig) (*Report
 		// straddles a batch boundary is still split; see SetsPerJob's doc
 		// for the rounding-error-only consequence.)
 		kLo, kHi := lo/cfg.SetsPerJob, (hi+cfg.SetsPerJob-1)/cfg.SetsPerJob
-		grid := runner.NewGrid(len(cfg.Utilizations), len(schemes), kHi-kLo)
+		grid := runner.NewGrid(len(cfg.Utilizations), kHi-kLo)
 		return runner.RunStream(ctx, grid.Size(), cfg.runnerOptions(), func(_ context.Context, idx int) (scenarioPartial, error) {
 			c := grid.Coords(idx)
-			setLo := max((kLo+c[2])*cfg.SetsPerJob, lo)
-			setHi := min((kLo+c[2]+1)*cfg.SetsPerJob, hi)
-			return chunkJob(c[0], c[1], setLo, setHi)
+			setLo := max((kLo+c[1])*cfg.SetsPerJob, lo)
+			setHi := min((kLo+c[1]+1)*cfg.SetsPerJob, hi)
+			return chunkJob(c[0], setLo, setHi)
 		}, func(idx int, part scenarioPartial) error {
 			c := grid.Coords(idx)
-			for bi := range factories {
-				a := &aggs[c[0]][c[1]][bi]
-				a.charge.Merge(part.charge[bi])
-				a.life.Merge(part.life[bi])
-				// The scheduling simulations are shared across batteries, so
-				// every battery row of a (utilisation, scheme) cell reports
-				// the misses of the same underlying runs.
-				a.misses += part.misses
+			// Each cell still merges its chunks in ascending chunk order —
+			// jobs carry the whole scheme axis now, but the per-cell merge
+			// sequence (and hence the Welford association) is unchanged.
+			for si := range schemes {
+				for bi := range factories {
+					a := &aggs[c[0]][si][bi]
+					a.charge.Merge(part.charge[si][bi])
+					a.life.Merge(part.life[si][bi])
+					// The scheduling simulations are shared across batteries,
+					// so every battery row of a (utilisation, scheme) cell
+					// reports the misses of the same underlying runs.
+					a.misses += part.misses[si]
+				}
 			}
 			return nil
 		})

@@ -69,6 +69,11 @@ func resolveBatteryFactories(names []string) ([]BatteryFactory, error) {
 type Table2Config struct {
 	// Sets is the number of random task-graph sets averaged (paper: 100).
 	Sets int
+	// SetsPerJob chunks the sets into jobs: each job simulates a chunk of
+	// sets sequentially on one reused engine (0 selects a default chunk
+	// size). The per-set fold is exact (keyed on absolute set indices), so
+	// results are byte-identical for any SetsPerJob at any Parallel value.
+	SetsPerJob int
 	// GraphsPerSet is the number of task graphs per set.
 	GraphsPerSet int
 	// Utilization is the worst-case utilisation of each set (paper: 0.70).
@@ -169,58 +174,81 @@ type table2Cell struct {
 	charge, life, energy, current float64
 }
 
-// table2Job simulates every scheme on one task-graph set. The set's workload
-// and actual execution requirements derive from setSeed and are shared by all
-// schemes, so schemes always compare on identical task graphs. Each
-// simulation records only the load profile (the battery models need it); the
+// table2ChunkJob simulates every scheme on the task-graph sets [setLo, setHi)
+// and returns one cell row per set. Each set's workload and actual execution
+// requirements derive from its seed and are shared by all schemes, so schemes
+// always compare on identical task graphs: the set's system is generated once,
+// scheme 0 records the execution realisation and the remaining schemes replay
+// it (the engine's draw order is scheme-independent, see
+// taskgraph.RecordedExecution). The engine, profile recorder, execution model
+// and battery instance are reused across every (set, scheme) run of the
+// chunk; only the load profile is recorded (the battery models need it), the
 // execution trace is never built.
-func table2Job(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, setSeed int64) ([]table2Cell, error) {
-	rng := rand.New(rand.NewSource(setSeed))
-	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
-	if err != nil {
-		return nil, err
-	}
-	cells := make([]table2Cell, len(schemes))
-	// One battery instance for the whole job, reused across schemes through
-	// the batch API (every simulation Resets its models).
+func table2ChunkJob(cfg Table2Config, proc *processor.Model, schemes []table2Scheme, setLo, setHi int) ([][]table2Cell, error) {
+	out := make([][]table2Cell, 0, setHi-setLo)
 	models := []battery.Model{cfg.Battery()}
-	for i, s := range schemes {
-		res, err := core.Run(core.Config{
-			System:          sys.Clone(),
-			Processor:       proc,
-			DVS:             s.alg(),
-			Priority:        s.prio(),
-			ReadyPolicy:     s.policy,
-			FrequencyMode:   core.DiscreteFrequency,
-			OracleEstimates: cfg.OracleEstimates,
-			Execution:       taskgraph.NewUniformExecution(0.2, 1.0, setSeed),
-			Hyperperiods:    cfg.Hyperperiods,
-			Seed:            setSeed,
-			Observer:        core.NewProfileRecorder(),
-		})
+	eng := core.NewEngine()
+	rec := core.NewProfileRecorder()
+	uni := taskgraph.NewUniformExecution(0.2, 1.0, 0)
+	exec := taskgraph.NewRecordedExecution(uni)
+	for set := setLo; set < setHi; set++ {
+		// The set index is absolute, so the workload seed does not depend on
+		// the batch layout, the chunk layout or the shard.
+		setSeed := runner.SeedFor(cfg.Seed, int64(set))
+		rng := rand.New(rand.NewSource(setSeed))
+		sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), cfg.GraphsPerSet, cfg.Utilization, proc.FMax(), rng)
 		if err != nil {
 			return nil, err
 		}
-		if res.DeadlineMisses > 0 {
-			return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+		uni.Reseed(setSeed)
+		exec.Restart(uni)
+		cells := make([]table2Cell, len(schemes))
+		for i, s := range schemes {
+			if i > 0 {
+				exec.Replay()
+			}
+			rec.Reset()
+			if err := eng.Reset(core.Config{
+				System:          sys,
+				Processor:       proc,
+				DVS:             s.alg(),
+				Priority:        s.prio(),
+				ReadyPolicy:     s.policy,
+				FrequencyMode:   core.DiscreteFrequency,
+				OracleEstimates: cfg.OracleEstimates,
+				Execution:       exec,
+				Hyperperiods:    cfg.Hyperperiods,
+				Seed:            setSeed,
+				Observer:        rec,
+			}); err != nil {
+				return nil, err
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			if res.DeadlineMisses > 0 {
+				return nil, fmt.Errorf("experiments: table 2 scheme %s missed %d deadlines", s.name, res.DeadlineMisses)
+			}
+			// Zero MaxStep selects the analytic fast path (whole segments +
+			// per-repetition transfer operators; since the stochastic fast
+			// path, for every registered model).
+			brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
+				MaxTime: cfg.MaxBatteryHours * 3600,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = table2Cell{
+				charge:  brs[0].DeliveredMAh(),
+				life:    brs[0].LifetimeMinutes(),
+				energy:  res.EnergyBattery / float64(cfg.Hyperperiods),
+				current: res.Profile.AverageCurrent(),
+			}
 		}
-		// Zero MaxStep selects the analytic fast path (whole segments +
-		// per-repetition transfer operators; since the stochastic fast path,
-		// for every registered model).
-		brs, err := battery.SimulateBatch(models, res.Profile, battery.SimulateOptions{
-			MaxTime: cfg.MaxBatteryHours * 3600,
-		})
-		if err != nil {
-			return nil, err
-		}
-		cells[i] = table2Cell{
-			charge:  brs[0].DeliveredMAh(),
-			life:    brs[0].LifetimeMinutes(),
-			energy:  res.EnergyBattery / float64(cfg.Hyperperiods),
-			current: res.Profile.AverageCurrent(),
-		}
+		out = append(out, cells)
 	}
-	return cells, nil
+	return out, nil
 }
 
 // table2Agg accumulates one scheme's column of Table 2 from streamed sets.
@@ -256,15 +284,20 @@ func init() {
 	})
 }
 
-// runTable2Report regenerates Table 2 for the configured battery model. Each
-// task-graph set is one job of the runner harness; per-set cells stream back
-// in set order and fold into per-scheme accumulators. With
+// runTable2Report regenerates Table 2 for the configured battery model. Jobs
+// are chunks of SetsPerJob task-graph sets, each covering every scheme on one
+// reused engine; per-set cells stream back in chunk order and fold into
+// per-scheme accumulators keyed on absolute set indices, so the result is
+// byte-identical for any SetsPerJob at any parallelism. With
 // RunOptions.TargetCI set, additional batches of sets run until the relative
 // CI95 of every scheme's battery lifetime (the key metric) converges or
 // MaxSets is reached.
 func runTable2Report(ctx context.Context, cfg Table2Config) (*Report, error) {
 	if cfg.Sets <= 0 || cfg.GraphsPerSet <= 0 || cfg.Utilization <= 0 || cfg.Utilization > 1 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.SetsPerJob <= 0 {
+		cfg.SetsPerJob = 4
 	}
 	if cfg.Hyperperiods <= 0 {
 		cfg.Hyperperiods = 1
@@ -287,17 +320,24 @@ func runTable2Report(ctx context.Context, cfg Table2Config) (*Report, error) {
 
 	aggs := make([]table2Agg, len(schemes))
 	_, err := runAdaptiveSets(cfg.RunOptions, cfg.Sets, func(lo, hi int) error {
-		return runner.RunStream(ctx, hi-lo, cfg.runnerOptions(), func(_ context.Context, i int) ([]table2Cell, error) {
-			// The set index is absolute (lo+i), so the workload seed does
-			// not depend on the batch layout or the shard.
-			return table2Job(cfg, proc, schemes, runner.SeedFor(cfg.Seed, int64(lo+i)))
-		}, func(i int, cells []table2Cell) error {
-			set := lo + i
-			for si, cell := range cells {
-				aggs[si].charge.Add(set, cell.charge)
-				aggs[si].life.Add(set, cell.life)
-				aggs[si].energy.Add(set, cell.energy)
-				aggs[si].current.Add(set, cell.current)
+		// Chunk boundaries are aligned to absolute set-index multiples of
+		// SetsPerJob, not to the batch start, so the chunk layout does not
+		// depend on how the adaptive loop sliced the set range into batches.
+		kLo, kHi := lo/cfg.SetsPerJob, (hi+cfg.SetsPerJob-1)/cfg.SetsPerJob
+		return runner.RunStream(ctx, kHi-kLo, cfg.runnerOptions(), func(_ context.Context, k int) ([][]table2Cell, error) {
+			setLo := max((kLo+k)*cfg.SetsPerJob, lo)
+			setHi := min((kLo+k+1)*cfg.SetsPerJob, hi)
+			return table2ChunkJob(cfg, proc, schemes, setLo, setHi)
+		}, func(k int, rows [][]table2Cell) error {
+			setLo := max((kLo+k)*cfg.SetsPerJob, lo)
+			for off, cells := range rows {
+				set := setLo + off
+				for si, cell := range cells {
+					aggs[si].charge.Add(set, cell.charge)
+					aggs[si].life.Add(set, cell.life)
+					aggs[si].energy.Add(set, cell.energy)
+					aggs[si].current.Add(set, cell.current)
+				}
 			}
 			return nil
 		})
@@ -319,6 +359,7 @@ func runTable2Report(ctx context.Context, cfg Table2Config) (*Report, error) {
 		Meta: map[string]string{
 			"seed":              strconv.FormatInt(cfg.Seed, 10),
 			"sets":              strconv.Itoa(cfg.Sets),
+			"sets_per_job":      strconv.Itoa(cfg.SetsPerJob),
 			"graphs_per_set":    strconv.Itoa(cfg.GraphsPerSet),
 			"utilization":       formatFloat(cfg.Utilization),
 			"hyperperiods":      strconv.Itoa(cfg.Hyperperiods),

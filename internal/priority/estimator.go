@@ -95,6 +95,15 @@ func (h *HistoryEstimator) Observe(graphIndex, nodeID int, wcet, actual float64)
 	}
 }
 
+// Reset forgets all recorded history while keeping the map's storage, so a
+// reused estimator starts the next simulation from InitialFraction without
+// reallocating its buckets.
+func (h *HistoryEstimator) Reset() {
+	h.mu.Lock()
+	clear(h.hist)
+	h.mu.Unlock()
+}
+
 // Len returns the number of nodes with recorded history.
 func (h *HistoryEstimator) Len() int {
 	h.mu.Lock()

@@ -54,6 +54,13 @@ func (p *Profile) Append(duration, current float64) {
 // AppendSegment adds a pre-built segment via Append.
 func (p *Profile) AppendSegment(s Segment) { p.Append(s.Duration, s.Current) }
 
+// Reset empties the profile while keeping the segment slice's capacity, so a
+// reused profile stops allocating once it has grown to its steady-state size.
+// Callers holding the old Segments slice observe it being overwritten by the
+// next Append sequence — copy (Clone) before resetting when the contents must
+// outlive the reuse.
+func (p *Profile) Reset() { p.Segments = p.Segments[:0] }
+
 // Validate checks the profile contains at least one well-formed segment.
 func (p *Profile) Validate() error {
 	if len(p.Segments) == 0 {
@@ -241,6 +248,10 @@ func (a *ChargeAccumulator) Append(duration, current float64) {
 	}
 	a.dur, a.cur, a.active = duration, current, true
 }
+
+// Reset returns the accumulator to its zero state so it can be reused for a
+// fresh Append sequence.
+func (a *ChargeAccumulator) Reset() { *a = ChargeAccumulator{} }
 
 // Charge returns the accumulated charge in coulombs.
 func (a *ChargeAccumulator) Charge() float64 {

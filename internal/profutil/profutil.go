@@ -1,0 +1,72 @@
+// Package profutil wires runtime/pprof behind the -cpuprofile/-memprofile
+// flags of the command-line tools (cmd/engbench, cmd/experiments), so hot
+// paths can be inspected with `go tool pprof` without ad-hoc instrumentation.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling as requested: cpuPath starts a CPU profile, memPath
+// arranges for an allocation profile to be written when the returned stop
+// function runs. Either path may be empty to disable that profile. Call stop
+// exactly once, on the success path before the process exits (a profile is
+// worthless for a run that died anyway).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// The allocs profile keeps cumulative allocation sites even for
+			// freed objects — what the zero-alloc engine work cares about;
+			// an up-to-date GC cycle makes the in-use numbers meaningful too.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// MustStart is Start for command main functions: flag-driven profiling that
+// fails to initialise is a fatal usage error.
+func MustStart(cpuPath, memPath string) func() {
+	stop, err := Start(cpuPath, memPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		os.Exit(1)
+	}
+	return func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -36,6 +36,12 @@ func NewUniformExecution(minFrac, maxFrac float64, seed int64) *UniformExecution
 	return &UniformExecution{MinFraction: minFrac, MaxFraction: maxFrac, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the model onto a fresh uniform stream for the given seed.
+// The resulting draw sequence is identical to that of a model newly built
+// with NewUniformExecution(u.MinFraction, u.MaxFraction, seed), which is what
+// lets a reused engine reproduce a fresh run bit-for-bit.
+func (u *UniformExecution) Reseed(seed int64) { u.rng.Seed(seed) }
+
 // Actual implements ExecutionModel.
 func (u *UniformExecution) Actual(g *Graph, id NodeID) float64 {
 	wc := g.Nodes[id].WCET
@@ -48,6 +54,64 @@ func (u *UniformExecution) Actual(g *Graph, id NodeID) float64 {
 		ac = wc
 	}
 	return ac
+}
+
+// RecordedExecution wraps an ExecutionModel and records every value it draws,
+// so the identical execution realisation can be replayed for further runs over
+// the same workload. The scheduling engine queries Actual in a scheme-
+// independent order (releases are processed in strict time order, node-index
+// order within a release), which is what makes a realisation recorded under
+// one scheme valid for every other scheme on the same system, seed and
+// horizon — the comparability contract the experiment drivers rely on.
+//
+// In replay mode a call past the recorded sequence falls through to the
+// underlying model (and extends the recording); this only happens when the
+// replayed run releases more instances than the recorded one, which the
+// drivers' equal-horizon usage never does.
+type RecordedExecution struct {
+	model     ExecutionModel
+	vals      []float64
+	pos       int
+	replaying bool
+}
+
+// NewRecordedExecution returns a recording wrapper around model, in recording
+// mode with an empty tape.
+func NewRecordedExecution(model ExecutionModel) *RecordedExecution {
+	return &RecordedExecution{model: model}
+}
+
+// Restart switches to a new underlying model (e.g. one reseeded for the next
+// task set), truncates the tape keeping its capacity, and returns to recording
+// mode.
+func (r *RecordedExecution) Restart(model ExecutionModel) {
+	r.model = model
+	r.vals = r.vals[:0]
+	r.pos = 0
+	r.replaying = false
+}
+
+// Replay rewinds to the start of the tape: subsequent Actual calls return the
+// recorded values in order.
+func (r *RecordedExecution) Replay() {
+	r.pos = 0
+	r.replaying = true
+}
+
+// Len returns the number of recorded draws.
+func (r *RecordedExecution) Len() int { return len(r.vals) }
+
+// Actual implements ExecutionModel.
+func (r *RecordedExecution) Actual(g *Graph, id NodeID) float64 {
+	if r.replaying && r.pos < len(r.vals) {
+		v := r.vals[r.pos]
+		r.pos++
+		return v
+	}
+	v := r.model.Actual(g, id)
+	r.vals = append(r.vals, v)
+	r.pos = len(r.vals)
+	return v
 }
 
 // WorstCaseExecution always returns the WCET: every instance takes its worst

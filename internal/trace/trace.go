@@ -46,6 +46,11 @@ type Trace struct {
 // New returns an empty trace.
 func New() *Trace { return &Trace{} }
 
+// Reset empties the trace while keeping the slice capacity, so a reused trace
+// stops allocating once it has grown to its steady-state size. Callers holding
+// the old Slices observe them being overwritten by the next Append sequence.
+func (t *Trace) Reset() { t.Slices = t.Slices[:0] }
+
 // Append adds a slice, merging it with the previous one when both describe
 // the same activity at the same frequency and current and are contiguous.
 func (t *Trace) Append(s Slice) {
