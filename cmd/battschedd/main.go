@@ -20,6 +20,13 @@
 // immediately with "cached": true. Fetched artifacts are byte-identical to
 // the files the equivalent local `cmd/experiments run -o` writes.
 //
+// Concurrent submissions of one spec coalesce onto a single in-flight
+// computation ("coalesced": true followers). With -cache-dir set, accepted
+// jobs are also journaled (journal.jsonl) and a restarted daemon resumes
+// accepted-but-unfinished work under the original job IDs. A full queue
+// answers 429 with a Retry-After estimate; SIGINT/SIGTERM drains gracefully
+// (-drain-timeout bounds the wait for in-flight units).
+//
 // `cmd/experiments submit` drives a daemon with the same flags as local
 // `run`; see EXPERIMENTS.md ("Serving") for a curl walkthrough.
 package main
@@ -54,8 +61,9 @@ func run(args []string) error {
 		workers      = fs.Int("workers", 2, "concurrent shard units (the worker-pool size)")
 		queue        = fs.Int("queue", 64, "FIFO queue bound in shard units")
 		parallel     = fs.Int("parallel", 0, "job-grid worker count inside each unit's run (0: all cores)")
-		cacheDir     = fs.String("cache-dir", "", "on-disk content-addressed report store (default: memory-only)")
+		cacheDir     = fs.String("cache-dir", "", "on-disk content-addressed report store and job journal (default: memory-only, no journal)")
 		cacheEntries = fs.Int("cache-entries", 64, "in-memory report cache LRU size")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight units before cancelling them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,12 +90,15 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, srv, ln)
+	return serve(ctx, srv, ln, *drainTimeout)
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then shuts down
-// gracefully. Split from run so tests can drive it on an ephemeral port.
-func serve(ctx context.Context, srv *service.Server, ln net.Listener) error {
+// gracefully: the daemon first drains (admissions answer 503, /healthz turns
+// "draining", in-flight units get drainTimeout to finish, queued jobs stay
+// journaled for the next start), then the HTTP server closes. Split from run
+// so tests can drive it on an ephemeral port.
+func serve(ctx context.Context, srv *service.Server, ln net.Listener, drainTimeout time.Duration) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
@@ -98,7 +109,12 @@ func serve(ctx context.Context, srv *service.Server, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("battschedd: shutting down")
+	log.Printf("battschedd: draining (up to %s for in-flight units)", drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("battschedd: drain: %v", err)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -24,7 +24,7 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, srv, ln) }()
+	go func() { done <- serve(ctx, srv, ln, time.Second) }()
 
 	c := client.New("http://" + ln.Addr().String())
 	deadline := time.Now().Add(5 * time.Second)

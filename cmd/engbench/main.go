@@ -52,7 +52,8 @@
 // exits nonzero if a batch pass is slower than the scalar passes it replaces
 // (beyond a 1.10 noise factor) or allocates more than they did.
 //
-// The service report (BENCH_service.json, -service-o): BenchmarkServiceSubmit
+// The service submit report (BENCH_submit.json in CI, -service-o; the
+// broader BENCH_service.json load report is cmd/loadgen's): BenchmarkServiceSubmit
 // — end-to-end latency of submitting a quick Table 2 spec to an in-process
 // experiment daemon (internal/service behind a real HTTP listener, driven
 // through the typed client), comparing the cold path (full compute through
@@ -69,7 +70,7 @@
 //	engbench -o BENCH_engine.json
 //	engbench -o BENCH_engine.json.new -baseline BENCH_engine.json
 //	engbench -engine=false -battery-o BENCH_battery.json
-//	engbench -engine=false -service-o BENCH_service.json
+//	engbench -engine=false -service-o BENCH_submit.json
 //	engbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -666,7 +667,7 @@ func compareBaseline(cur report, path string) ([]string, error) {
 	return regs, nil
 }
 
-// serviceReport is the emitted BENCH_service.json document.
+// serviceReport is the emitted submit-latency document (-service-o).
 type serviceReport struct {
 	Benchmark string `json:"benchmark"`
 	Spec      string `json:"spec"`

@@ -1,0 +1,282 @@
+// Command loadgen is the experiment service load harness: it hammers a
+// daemon with concurrent mixed submissions and reports latency percentiles,
+// saturation throughput and the hardening counters (coalesce hits, cache
+// hits, 429 rejections absorbed by client retries) as a JSON document —
+// BENCH_service.json at the repo root is its committed baseline.
+//
+//	loadgen                               # self-hosted in-process daemon
+//	loadgen -server http://127.0.0.1:8344 # against a running battschedd
+//	loadgen -o BENCH_service.json.new -baseline BENCH_service.json
+//
+// The workload is n jobs over max(1, n·(1-dup)) unique specs (quick Table 2
+// at distinct seeds), submitted by c concurrent clients in consecutive
+// blocks per spec — so a spec's duplicates mostly arrive while its leader is
+// still in flight and exercise singleflight coalescing, with stragglers
+// hitting the finished-report cache. Every client retries 429 backpressure rejections with the typed
+// client's jittered backoff (honouring Retry-After), and a job's latency is
+// submission through terminal state.
+//
+// loadgen exits nonzero when the run itself disproves the hardening
+// contract: any job failed, or a duplicate-heavy workload (dup >= 0.5,
+// n >= 50) produced no coalesce/cache hits. With -baseline it additionally
+// exits nonzero when saturation throughput regressed more than the noise
+// factor below the committed baseline (latency percentiles are reported but
+// informational — runner speed varies more than contract behaviour).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"battsched/internal/service"
+	"battsched/internal/service/client"
+)
+
+// report is the emitted BENCH_service.json document.
+type report struct {
+	Benchmark  string `json:"benchmark"`
+	Experiment string `json:"experiment"`
+	// Jobs, Concurrency, DuplicateRatio and UniqueSpecs describe the
+	// workload: Jobs submissions over UniqueSpecs distinct specs from
+	// Concurrency concurrent clients.
+	Jobs           int     `json:"jobs"`
+	Concurrency    int     `json:"concurrency"`
+	DuplicateRatio float64 `json:"duplicate_ratio"`
+	UniqueSpecs    int     `json:"unique_specs"`
+	// WallMs is the whole run's wall time; ThroughputJobsPerSec is
+	// Jobs / wall — the saturation throughput the baseline gate tracks.
+	WallMs               float64 `json:"wall_ms"`
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	// P50Ms, P99Ms and MaxMs are per-job submit-to-terminal latency
+	// percentiles (informational: runner speed varies).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// Computed, Coalesced and CacheHits classify every job by its admission:
+	// fresh compute, follower of an in-flight leader, or report-cache hit.
+	Computed  int `json:"computed"`
+	Coalesced int `json:"coalesced"`
+	CacheHits int `json:"cache_hits"`
+	// Retries429 counts 429 backpressure rejections absorbed by client
+	// retries; Failures counts jobs that ended failed or errored out.
+	Retries429 int `json:"retries_429"`
+	Failures   int `json:"failures"`
+	// Health is the daemon's snapshot after the run (queue drained,
+	// lifetime coalesce and cache counters).
+	Health service.Health `json:"health"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		server     = fs.String("server", "", "daemon base URL (default: self-host an in-process daemon)")
+		n          = fs.Int("n", 300, "total job submissions")
+		c          = fs.Int("c", 32, "concurrent submitting clients")
+		dup        = fs.Float64("dup", 0.9, "duplicate ratio in [0,1): fraction of submissions repeating an earlier spec")
+		experiment = fs.String("experiment", "table2", "experiment to submit (quick spec at distinct seeds)")
+		battery    = fs.String("battery", "kibam", "battery model for the submitted specs")
+		workers    = fs.Int("workers", 4, "self-hosted daemon worker-pool size (ignored with -server)")
+		queue      = fs.Int("queue", 64, "self-hosted daemon queue bound in units (ignored with -server)")
+		maxRetries = fs.Int("max-retries", 8, "client retries per 429-rejected submission")
+		out        = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		baseline   = fs.String("baseline", "", "compare against this committed BENCH_service.json and exit nonzero when throughput regresses beyond -noise")
+		noise      = fs.Float64("noise", 1.10, "allowed throughput regression factor for the -baseline gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
+		return fmt.Errorf("need -n > 0, -c > 0 and -dup in [0,1)")
+	}
+
+	base := *server
+	if base == "" {
+		srv, err := service.New(service.Config{Workers: *workers, QueueCapacity: *queue})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	rep, err := hammer(base, *experiment, *battery, *n, *c, *dup, *maxRetries)
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" && *out != "-" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	} else {
+		stdout.Write(data)
+	}
+
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", rep.Failures, rep.Jobs)
+	}
+	if *dup >= 0.5 && *n >= 50 && rep.Coalesced+rep.CacheHits == 0 {
+		return fmt.Errorf("duplicate-heavy workload (dup=%.2f) produced no coalesce or cache hits: dedup is broken", *dup)
+	}
+	if *baseline != "" {
+		return compareBaseline(rep, *baseline, *noise)
+	}
+	return nil
+}
+
+// hammer drives the full workload against the daemon at base and collects
+// the run report.
+func hammer(base, experiment, battery string, n, c int, dup float64, maxRetries int) (report, error) {
+	unique := int(math.Round(float64(n) * (1 - dup)))
+	if unique < 1 {
+		unique = 1
+	}
+	ctx := context.Background()
+	probe := client.New(base)
+	if _, err := probe.Health(ctx); err != nil {
+		return report{}, fmt.Errorf("daemon at %s not healthy: %w", base, err)
+	}
+
+	var (
+		next       atomic.Int64
+		retries429 atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64
+		rep        report
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(base)
+			cl.MaxRetries = maxRetries
+			cl.RetryBaseDelay = 50 * time.Millisecond
+			cl.OnRetry = func(status, attempt int, delay time.Duration) { retries429.Add(1) }
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Submissions of one seed form a consecutive block, so a
+				// spec's duplicates are in flight together: the concurrent
+				// clients submit them while the leader still computes, which
+				// is the coalescing path; stragglers hit the report cache.
+				req := service.JobRequest{
+					Experiment: experiment,
+					Spec:       service.SpecRequest{Quick: true, Battery: battery, Seed: 1 + int64(i*unique/n)},
+				}
+				jobStart := time.Now()
+				st, err := cl.Submit(ctx, req)
+				if err == nil && st.State != service.StateDone && st.State != service.StateFailed {
+					st, err = cl.Wait(ctx, st.ID, 10*time.Millisecond, nil)
+				}
+				lat := float64(time.Since(jobStart)) / 1e6
+				mu.Lock()
+				latencies = append(latencies, lat)
+				switch {
+				case err != nil || st.State == service.StateFailed:
+					rep.Failures++
+				case st.Cached:
+					rep.CacheHits++
+				case st.Coalesced:
+					rep.Coalesced++
+				default:
+					rep.Computed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	h, err := probe.Health(ctx)
+	if err != nil {
+		return report{}, fmt.Errorf("post-run health: %w", err)
+	}
+	sort.Float64s(latencies)
+	rep.Benchmark = "loadgen"
+	rep.Experiment = experiment
+	rep.Jobs = n
+	rep.Concurrency = c
+	rep.DuplicateRatio = dup
+	rep.UniqueSpecs = unique
+	rep.WallMs = float64(wall) / 1e6
+	rep.ThroughputJobsPerSec = float64(n) / wall.Seconds()
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P99Ms = percentile(latencies, 0.99)
+	rep.MaxMs = latencies[len(latencies)-1]
+	rep.Retries429 = int(retries429.Load())
+	rep.Health = h
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// compareBaseline gates saturation throughput against the committed
+// baseline: a fresh run more than the noise factor slower exits nonzero
+// (latency percentile drift is reported but informational).
+func compareBaseline(cur report, path string, noise float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.ThroughputJobsPerSec <= 0 {
+		return fmt.Errorf("baseline %s has no throughput", path)
+	}
+	if cur.P99Ms > base.P99Ms*noise {
+		fmt.Fprintf(os.Stderr, "loadgen: note: p99 %.1f ms vs baseline %.1f ms (>%.2fx; informational — runner speed varies)\n",
+			cur.P99Ms, base.P99Ms, noise)
+	}
+	if cur.ThroughputJobsPerSec*noise < base.ThroughputJobsPerSec {
+		return fmt.Errorf("throughput regression: %.1f jobs/s vs baseline %.1f (>%.2fx)",
+			cur.ThroughputJobsPerSec, base.ThroughputJobsPerSec, noise)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfHostedBurst runs a small self-hosted burst end to end and checks
+// the report invariants: every job classified, duplicates deduplicated, and
+// the baseline gate accepting the run against its own report.
+func TestSelfHostedBurst(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	args := []string{"-n", "40", "-c", "8", "-dup", "0.8", "-workers", "2", "-o", out}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 40 || rep.UniqueSpecs != 8 {
+		t.Fatalf("workload = %d jobs / %d unique, want 40/8", rep.Jobs, rep.UniqueSpecs)
+	}
+	if got := rep.Computed + rep.Coalesced + rep.CacheHits + rep.Failures; got != rep.Jobs {
+		t.Fatalf("classified %d of %d jobs", got, rep.Jobs)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d jobs failed", rep.Failures)
+	}
+	if rep.Coalesced+rep.CacheHits == 0 {
+		t.Fatal("dup=0.8 burst produced no coalesce or cache hits")
+	}
+	if rep.Computed < rep.UniqueSpecs {
+		t.Fatalf("computed %d < %d unique specs", rep.Computed, rep.UniqueSpecs)
+	}
+	if rep.ThroughputJobsPerSec <= 0 || rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("implausible timing stats: %+v", rep)
+	}
+
+	// The same report is an acceptable baseline for itself.
+	if err := run([]string{"-n", "40", "-c", "8", "-dup", "0.8", "-workers", "2",
+		"-o", filepath.Join(dir, "fresh.json"), "-baseline", out, "-noise", "100"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagValidation covers the argument error paths.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"positional"},
+		{"-n", "0"},
+		{"-dup", "1.5"},
+		{"-server", "http://127.0.0.1:1", "-n", "1"}, // nothing listening
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

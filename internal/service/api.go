@@ -122,6 +122,10 @@ type JobStatus struct {
 	// Cached reports that the job was served from the content-addressed
 	// report cache without recomputation.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the job attached as a follower to an in-flight
+	// job of the same spec hash instead of computing: it resolves — with the
+	// identical artifact, or the same failure — when its leader finalises.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Shards reports per-unit progress, in shard order.
 	Shards []ShardStatus `json:"shards,omitempty"`
 	// Error carries the failure message of a failed job.
@@ -143,7 +147,9 @@ type ExperimentInfo struct {
 
 // Health is the GET /healthz payload.
 type Health struct {
-	// Status is "ok" while the daemon accepts jobs.
+	// Status is "ok" while the daemon accepts jobs, "draining" once Shutdown
+	// has begun (the endpoint then answers 503, so load balancers stop
+	// routing here).
 	Status string `json:"status"`
 	// QueueDepth is the number of shard units waiting in the FIFO queue.
 	QueueDepth int `json:"queue_depth"`
@@ -156,11 +162,21 @@ type Health struct {
 	// Jobs is the number of jobs currently tracked (the oldest terminal jobs
 	// are evicted beyond Config.MaxJobs).
 	Jobs int `json:"jobs"`
+	// CoalescedJobs counts submissions that attached to an in-flight job of
+	// the same spec instead of computing, over the daemon's lifetime.
+	CoalescedJobs int `json:"coalesced_jobs"`
 	// CacheEntries, CacheHits and CacheMisses describe the report cache's
 	// in-memory tier.
 	CacheEntries int `json:"cache_entries"`
 	CacheHits    int `json:"cache_hits"`
 	CacheMisses  int `json:"cache_misses"`
+	// CacheWriteErrors counts report cache write failures (disk full,
+	// permissions); the affected jobs still completed from memory.
+	CacheWriteErrors int `json:"cache_write_errors,omitempty"`
+	// MeanUnitMs is the recent mean shard-unit execution time (EWMA,
+	// milliseconds) — the quantity behind Retry-After estimates. 0 until the
+	// first unit completes.
+	MeanUnitMs float64 `json:"mean_unit_ms,omitempty"`
 }
 
 // apiError is the JSON error envelope every non-2xx response carries.

@@ -12,7 +12,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,16 +22,36 @@ import (
 	"battsched/internal/service"
 )
 
-// Client talks to one experiment daemon.
+// Client talks to one experiment daemon. The zero retry configuration fails
+// fast; set MaxRetries to make the client absorb the daemon's 429
+// backpressure with jittered exponential backoff.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// MaxRetries is the number of times a request rejected with HTTP 429
+	// (queue full) is retried before the APIError is returned; 0 disables
+	// retries. Each attempt waits the larger of the daemon's Retry-After
+	// hint and a jittered exponential backoff from RetryBaseDelay.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (<= 0 selects 100 ms);
+	// attempt n waits base·2ⁿ scaled by a random factor in [0.5, 1.5),
+	// capped at 30 s — unless Retry-After asks for longer.
+	RetryBaseDelay time.Duration
+	// OnRetry, when non-nil, observes every backoff: the status that caused
+	// it, the 1-based attempt number, and the chosen delay.
+	OnRetry func(status, attempt int, delay time.Duration)
 }
 
 // New returns a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:8344"). A trailing slash is stripped.
+// "http://127.0.0.1:8344"). A trailing slash is stripped. The underlying
+// transport keeps enough idle connections per host for load-generation
+// concurrency.
 func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{Transport: tr}}
 }
 
 // APIError is a non-2xx daemon response.
@@ -45,52 +67,104 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("experiment service: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// do performs one JSON request. A non-2xx response decodes into *APIError;
-// out may be nil to discard the body, or *[]byte to capture it verbatim.
+// do performs one JSON request, retrying 429 responses up to MaxRetries
+// times. A non-2xx response decodes into *APIError; out may be nil to
+// discard the body, or *[]byte to capture it verbatim.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	for attempt := 0; ; attempt++ {
+		data, status, retryAfter, err := c.once(ctx, method, path, payload)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusTooManyRequests && attempt < c.MaxRetries {
+			delay := c.backoff(attempt, retryAfter)
+			if c.OnRetry != nil {
+				c.OnRetry(status, attempt+1, delay)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			continue
+		}
+		if status < 200 || status > 299 {
+			var ae struct {
+				Error string `json:"error"`
+			}
+			msg := strings.TrimSpace(string(data))
+			if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+				msg = ae.Error
+			}
+			return &APIError{Status: status, Message: msg}
+		}
+		switch out := out.(type) {
+		case nil:
+			return nil
+		case *[]byte:
+			*out = data
+			return nil
+		default:
+			return json.Unmarshal(data, out)
+		}
+	}
+}
+
+// once performs a single HTTP attempt, returning the body, status, and the
+// parsed Retry-After hint (0 when absent).
+func (c *Client) once(ctx context.Context, method, path string, payload []byte) ([]byte, int, time.Duration, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return nil, 0, 0, err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, 0, 0, err
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var ae struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			msg = ae.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
 	}
-	switch out := out.(type) {
-	case nil:
-		return nil
-	case *[]byte:
-		*out = data
-		return nil
-	default:
-		return json.Unmarshal(data, out)
+	return data, resp.StatusCode, retryAfter, nil
+}
+
+// backoff picks the wait before retry attempt+1: jittered exponential from
+// RetryBaseDelay, capped at 30 s, but never shorter than the daemon's
+// Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
 	}
+	d := base << uint(attempt)
+	if d > 30*time.Second || d <= 0 {
+		d = 30 * time.Second
+	}
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
 }
 
 // Submit posts one job and returns its initial status — State done with

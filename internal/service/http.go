@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"battsched/internal/battery"
 	"battsched/internal/experiments"
@@ -26,7 +28,9 @@ const maxRequestBody = 1 << 20
 //	GET  /healthz              queue depth, in-flight units, cache stats
 //
 // Errors are JSON {"error": ...} with 400 (bad request/spec), 404 (unknown
-// job), 409 (report of an unfinished job), 503 (queue full) or 500.
+// job), 409 (report of an unfinished job), 429 (queue full, with a
+// Retry-After header estimating when capacity frees up), 503 (daemon
+// draining; /healthz also turns 503 then) or 500.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -52,6 +56,15 @@ func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		var qf *queueFullError
+		if errors.As(err, &qf) {
+			// Retry-After is whole seconds (RFC 9110), rounded up so a
+			// sub-second estimate still tells the client to back off.
+			secs := int(math.Ceil(qf.retryAfter.Seconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownJob):
 		status = http.StatusNotFound
@@ -147,5 +160,12 @@ func (s *Server) handleBatteries(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Health())
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		// A draining daemon is not healthy to route to; the body still
+		// carries the full snapshot for operators.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }

@@ -1,0 +1,246 @@
+// Package journal implements the experiment daemon's durable job journal: an
+// append-only JSONL write-ahead log of accepted jobs in the daemon's cache
+// directory. Every admitted job appends one "accept" record (id, experiment,
+// wire-form spec, shard count) before its units enqueue; finalising a job
+// appends a matching "done" record. On daemon start, Open replays the log and
+// returns the accepted-but-unfinished records in admission order so the
+// server resumes them instead of dropping the queue a restart (or crash)
+// interrupted.
+//
+// The file is compacted — rewritten with only the live accept records, via
+// temp file + atomic rename — on Open, on Close, and after every
+// compactEvery runtime completions, so it stays proportional to the backlog
+// rather than the daemon's lifetime job count. A crash can truncate at most
+// the final line; replay tolerates a malformed tail and the next compaction
+// drops it. Writes go through the OS page cache without fsync: the journal
+// survives process kills and restarts (the failure mode it exists for), not
+// power loss.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// compactEvery is the number of runtime "done" records after which the log is
+// rewritten without its finished entries.
+const compactEvery = 256
+
+// Accept is one accepted job as journaled: enough to re-admit it after a
+// restart under its original ID.
+type Accept struct {
+	// ID is the job ID the daemon issued ("job-000042").
+	ID string `json:"id"`
+	// Experiment is the registry name the job runs.
+	Experiment string `json:"experiment"`
+	// Spec is the job's wire-form spec (service.SpecRequest), kept opaque
+	// here so the journal does not depend on the service package.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Shards is the requested shard fan-out (0 or 1 runs unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Hash is the canonical spec hash at admission time — informational:
+	// replay recomputes it, so a ResultsVersion bump between restarts is
+	// honoured instead of trusted from disk.
+	Hash string `json:"hash,omitempty"`
+	// Created is the job's admission time.
+	Created time.Time `json:"created,omitzero"`
+}
+
+// record is one JSONL line: an Accept tagged "accept", or a bare "done" ID.
+type record struct {
+	Op string `json:"op"`
+	Accept
+}
+
+// Journal is an open job journal. Construct with Open; all methods are safe
+// for concurrent use.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	live  map[string]Accept // accepted, not yet done
+	order []string          // admission order of live (may hold stale IDs)
+	dones int               // runtime completions since the last compaction
+}
+
+// Open opens (creating if missing) the journal at path, replays it, compacts
+// it down to its live records, and returns the accepted-but-unfinished
+// records in admission order.
+func Open(path string) (*Journal, []Accept, error) {
+	j := &Journal{path: path, live: make(map[string]Accept)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A crash-truncated tail: everything before it is intact, so
+			// stop here and let the compaction below drop the partial line.
+			break
+		}
+		switch rec.Op {
+		case "accept":
+			if rec.ID == "" {
+				continue
+			}
+			if _, dup := j.live[rec.ID]; !dup {
+				j.order = append(j.order, rec.ID)
+			}
+			j.live[rec.ID] = rec.Accept
+		case "done":
+			delete(j.live, rec.ID)
+		}
+	}
+	backlog := j.liveInOrder()
+	if err := j.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	return j, backlog, nil
+}
+
+// Accept appends one accepted job. It must be called before the job's units
+// enqueue, so a crash between admission and execution still replays the job.
+func (j *Journal) Accept(rec Accept) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.live[rec.ID]; !dup {
+		j.order = append(j.order, rec.ID)
+	}
+	j.live[rec.ID] = rec
+	return j.appendLocked(record{Op: "accept", Accept: rec})
+}
+
+// Done marks one journaled job finished. Unknown IDs are a no-op (cached
+// submissions are never journaled). Every compactEvery completions the log is
+// rewritten without its finished entries.
+func (j *Journal) Done(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.live[id]; !ok {
+		return nil
+	}
+	delete(j.live, id)
+	if err := j.appendLocked(record{Op: "done", Accept: Accept{ID: id}}); err != nil {
+		return err
+	}
+	j.dones++
+	if j.dones >= compactEvery {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// Len returns the number of live (accepted, unfinished) records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.live)
+}
+
+// Close compacts the journal down to its live records — retaining jobs a
+// shutdown abandoned, which is what lets the next daemon resume them — and
+// releases the file handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.compactLocked()
+	if j.f != nil {
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.f = nil
+	}
+	return err
+}
+
+// liveInOrder returns the live records in admission order.
+func (j *Journal) liveInOrder() []Accept {
+	var out []Accept
+	for _, id := range j.order {
+		if rec, ok := j.live[id]; ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// appendLocked writes one record line. Callers hold j.mu.
+func (j *Journal) appendLocked(rec record) error {
+	if j.f == nil {
+		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// compactLocked rewrites the log with only the live accept records (temp file
+// + rename, so a crash mid-compaction loses nothing). Callers hold j.mu.
+func (j *Journal) compactLocked() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	keep := j.liveInOrder()
+	ok := true
+	for _, rec := range keep {
+		line, err := json.Marshal(record{Op: "accept", Accept: rec})
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		ok = w.Flush() == nil && tmp.Close() == nil
+	} else {
+		tmp.Close()
+	}
+	if !ok {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: compacting %s failed", j.path)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	// The append handle points at the unlinked pre-compaction file; reopen
+	// lazily on the next append.
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.order = make([]string, 0, len(keep))
+	for _, rec := range keep {
+		j.order = append(j.order, rec.ID)
+	}
+	j.dones = 0
+	return nil
+}

@@ -1,0 +1,147 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*Journal, []Accept) {
+	t.Helper()
+	j, backlog, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, backlog
+}
+
+func accept(id string) Accept {
+	return Accept{ID: id, Experiment: "table2", Spec: json.RawMessage(`{"quick":true}`), Shards: 2}
+}
+
+// TestAcceptDoneReplay pins the core WAL contract: accepted jobs replay on
+// reopen until marked done, in admission order, with their payload intact.
+func TestAcceptDoneReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, backlog := openT(t, path)
+	if len(backlog) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(backlog))
+	}
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		if err := j.Accept(accept(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Done("job-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, backlog := openT(t, path)
+	defer j2.Close()
+	if len(backlog) != 2 || backlog[0].ID != "job-000001" || backlog[1].ID != "job-000003" {
+		t.Fatalf("replay = %+v, want jobs 1 and 3 in order", backlog)
+	}
+	if backlog[0].Experiment != "table2" || backlog[0].Shards != 2 || string(backlog[0].Spec) != `{"quick":true}` {
+		t.Fatalf("replayed record lost payload: %+v", backlog[0])
+	}
+}
+
+// TestCompactionDropsFinished checks that Close compacts the file down to
+// live accept records only.
+func TestCompactionDropsFinished(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	for _, id := range []string{"job-000001", "job-000002"} {
+		if err := j.Accept(accept(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Done("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if strings.Contains(text, "job-000001") || strings.Contains(text, `"done"`) {
+		t.Fatalf("compacted journal still holds finished records:\n%s", text)
+	}
+	if !strings.Contains(text, "job-000002") {
+		t.Fatalf("compacted journal lost the live record:\n%s", text)
+	}
+}
+
+// TestTruncatedTailTolerated simulates a crash mid-append: a malformed final
+// line must not poison replay of the intact prefix.
+func TestTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	if err := j.Accept(accept("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"accept","id":"job-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, backlog := openT(t, path)
+	defer j2.Close()
+	if len(backlog) != 1 || backlog[0].ID != "job-000001" {
+		t.Fatalf("replay after truncated tail = %+v", backlog)
+	}
+}
+
+// TestDoneUnknownIDNoop pins that Done of a never-journaled ID (cached
+// submissions) is a no-op.
+func TestDoneUnknownIDNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	defer j.Close()
+	if err := j.Done("job-999999"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+}
+
+// TestRuntimeCompactionThreshold drives past compactEvery completions and
+// checks the file stays bounded by the live set.
+func TestRuntimeCompactionThreshold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	defer j.Close()
+	for i := 0; i < compactEvery+8; i++ {
+		id := Accept{ID: string(rune('a'+i%26)) + "-job", Experiment: "table2"}
+		id.ID = "job-" + strings.Repeat("0", 3) + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		if err := j.Accept(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Done(id.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines > compactEvery {
+		t.Fatalf("journal grew to %d lines despite compaction", lines)
+	}
+}

@@ -13,6 +13,19 @@
 // (experiments.SpecHash). A later submission of an equal spec — sharded or
 // not — is answered from the cache without recomputation and marked Cached.
 //
+// Under heavy identical traffic the daemon additionally coalesces in-flight
+// work: a submission whose spec hash matches a job that is still queued or
+// running attaches to it as a follower (JobStatus.Coalesced) instead of
+// recomputing — it resolves, with the identical artifact, the moment the
+// leader finalises, and inherits the leader's failure otherwise. With a
+// CacheDir configured, accepted jobs are journaled to a JSONL write-ahead log
+// (internal/service/journal) and replayed on daemon start, so a restart
+// resumes accepted-but-unfinished work instead of dropping it. A full queue
+// rejects with ErrQueueFull carrying a Retry-After estimate (queue backlog ×
+// recent mean unit duration), which the HTTP layer maps to 429; Shutdown
+// drains gracefully (admissions stop, in-flight units finish, queued units
+// stay journaled for the next daemon).
+//
 // Byte-identity to the CLI is the correctness contract: per-set experiments
 // merge shard partials bit-for-bit (sample replay), so their served artifacts
 // equal the local unsharded `run -o` artifact byte-for-byte at any shard
@@ -24,25 +37,53 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"battsched/internal/experiments"
 	"battsched/internal/service/cache"
+	"battsched/internal/service/journal"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
 var (
 	// ErrQueueFull reports that admitting the job's shard units would exceed
-	// the queue bound.
+	// the queue bound. The concrete error carries a Retry-After estimate;
+	// the HTTP layer maps it to 429 with a Retry-After header.
 	ErrQueueFull = errors.New("service: job queue is full")
 	// ErrUnknownJob reports a job ID this daemon never issued.
 	ErrUnknownJob = errors.New("service: unknown job")
 	// ErrJobNotFinished reports a report request for a job still in flight.
 	ErrJobNotFinished = errors.New("service: job not finished")
+	// ErrDraining reports a submission to a daemon that is shutting down.
+	ErrDraining = errors.New("service: daemon is draining")
 )
+
+// shutdownMsg is the terminal failure message of jobs abandoned by daemon
+// shutdown. Their journal accept records are retained, so a restart over the
+// same CacheDir resumes them instead of reporting zombies.
+const shutdownMsg = "daemon shut down before the job finished"
+
+// queueFullError is the concrete ErrQueueFull: it carries the backpressure
+// hint the HTTP layer surfaces as a Retry-After header.
+type queueFullError struct {
+	units, capacity, queued int
+	retryAfter              time.Duration
+}
+
+func (e *queueFullError) Error() string {
+	return fmt.Sprintf("%v: %d unit(s) would exceed the %d-unit bound (%d queued); retry in ~%s",
+		ErrQueueFull, e.units, e.capacity, e.queued, e.retryAfter.Round(time.Second))
+}
+
+func (e *queueFullError) Unwrap() error { return ErrQueueFull }
 
 // Config tunes one daemon instance. The zero value is usable: two workers, a
 // 64-unit queue, a memory-only 64-entry cache, full per-run parallelism.
@@ -58,7 +99,10 @@ type Config struct {
 	// With several service workers, bound this to avoid oversubscription.
 	Parallel int
 	// CacheDir is the on-disk content-addressed report store; "" keeps the
-	// cache memory-only.
+	// cache memory-only. A non-empty CacheDir also enables the durable job
+	// journal (journal.jsonl in the same directory): accepted jobs are
+	// logged before they enqueue and replayed on daemon start, so a restart
+	// resumes accepted-but-unfinished work under the original job IDs.
 	CacheDir string
 	// CacheEntries bounds the cache's in-memory LRU tier (<= 0 selects 64).
 	CacheEntries int
@@ -69,11 +113,18 @@ type Config struct {
 	// evicted. Finished artifacts stay retrievable by resubmitting the spec —
 	// the report cache, not the job map, is the artifact store.
 	MaxJobs int
+	// FaultHook, when non-nil, runs before every shard unit's execution with
+	// the daemon context; a non-nil return fails the unit with that error,
+	// and blocking (on ctx or an external gate) injects delay. Fault
+	// injection only — tests and load harnesses use it to drive retry,
+	// coalescing and kill/restart paths deterministically; leave nil in
+	// production.
+	FaultHook func(ctx context.Context, experiment string, shard experiments.Shard) error
 }
 
 // Server is the experiment daemon. Construct with New, expose over HTTP with
-// Handler, and stop with Close. Submit and Job are also usable directly for
-// in-process embedding.
+// Handler, and stop with Close (immediate) or Shutdown (graceful drain).
+// Submit and Job are also usable directly for in-process embedding.
 type Server struct {
 	cfg    Config
 	cache  *cache.Cache
@@ -82,12 +133,24 @@ type Server struct {
 	wg     sync.WaitGroup
 	queue  chan *unit
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	terminal []string // terminal job IDs in completion order (eviction queue)
-	queued   int      // units in the queue
-	inFlight int      // units executing
-	seq      int
+	drainIdle    chan struct{} // closed when draining and no unit is in flight
+	drainOnce    sync.Once
+	shutdownOnce sync.Once
+	shutdownDone chan struct{} // closed when shutdown has fully completed
+
+	mu           sync.Mutex
+	jobs         map[string]*job
+	inflight     map[string]*job // spec hash -> queued/running leader job
+	journal      *journal.Journal
+	terminal     []string // terminal job IDs in completion order (eviction queue)
+	queued       int      // units in the queue
+	inFlight     int      // units executing
+	seq          int
+	draining     bool
+	coalesced    int             // followers attached over the daemon's lifetime
+	cacheErrs    int             // report cache write failures
+	cacheErrSeen map[string]bool // distinct cache write errors already logged
+	meanUnitNs   float64         // EWMA of unit execution duration
 }
 
 // job is one accepted submission.
@@ -98,11 +161,13 @@ type job struct {
 	spec       experiments.Spec
 	state      string
 	cached     bool
+	coalesced  bool
 	errMsg     string
 	created    time.Time
 	started    time.Time
 	finished   time.Time
 	units      []*unit
+	followers  []*job // coalesced submissions resolving with this leader
 	remaining  int
 	artifact   []byte
 }
@@ -117,7 +182,8 @@ type unit struct {
 	rep   *experiments.Report
 }
 
-// New constructs a daemon and starts its worker pool.
+// New constructs a daemon, replays the job journal (when CacheDir is set)
+// and starts its worker pool.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -132,15 +198,41 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jr *journal.Journal
+	var backlog []journal.Accept
+	if cfg.CacheDir != "" {
+		jr, backlog, err = journal.Open(filepath.Join(cfg.CacheDir, "journal.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The queue must admit the entire replayed backlog even when it exceeds
+	// the configured bound (the previous daemon admitted it under its own
+	// bound); new submissions still reject against cfg.QueueCapacity until
+	// the backlog drains below it.
+	queueCap := cfg.QueueCapacity
+	if n := backlogUnits(backlog); n > queueCap {
+		queueCap = n
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		cache:  c,
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *unit, cfg.QueueCapacity),
-		jobs:   make(map[string]*job),
+		cfg:          cfg,
+		cache:        c,
+		ctx:          ctx,
+		cancel:       cancel,
+		queue:        make(chan *unit, queueCap),
+		drainIdle:    make(chan struct{}),
+		shutdownDone: make(chan struct{}),
+		jobs:         make(map[string]*job),
+		inflight:     make(map[string]*job),
+		journal:      jr,
+		cacheErrSeen: make(map[string]bool),
 	}
+	s.mu.Lock()
+	for _, rec := range backlog {
+		s.replayLocked(rec)
+	}
+	s.mu.Unlock()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -148,17 +240,99 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the worker pool: in-flight runs are cancelled through their
-// context and queued units are abandoned. Safe to call more than once.
+// backlogUnits counts the shard units a journal backlog expands to.
+func backlogUnits(backlog []journal.Accept) int {
+	n := 0
+	for _, rec := range backlog {
+		if rec.Shards > 1 {
+			n += rec.Shards
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// jobSeq extracts the numeric sequence of a daemon-issued job ID.
+func jobSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Close stops the daemon immediately: admissions stop, in-flight runs are
+// cancelled through their context, and every job still queued or running is
+// terminal-marked failed ("daemon shut down ...") so no job ID ever reports
+// a zombie queued state. Journaled accept records of abandoned jobs are
+// retained for the next daemon to resume. Safe to call more than once.
 func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // an already-expired deadline: drain nothing, abandon in flight
+	_ = s.Shutdown(ctx)
+}
+
+// Shutdown drains the daemon gracefully: new submissions are rejected with
+// ErrDraining and Health reports "draining" (so /healthz answers 503 and
+// load balancers stop routing here); in-flight units run to completion —
+// their jobs finalise normally — until ctx expires, at which point they are
+// cancelled; still-queued units never start (their journal records persist
+// for the next daemon) and their jobs are terminal-marked failed with a
+// shutdown message. Safe to call concurrently and more than once; every call
+// returns once shutdown has fully completed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ran := false
+	s.shutdownOnce.Do(func() {
+		ran = true
+		s.doShutdown(ctx)
+	})
+	if !ran {
+		<-s.shutdownDone
+	}
+	return nil
+}
+
+func (s *Server) doShutdown(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	idle := s.inFlight == 0
+	s.mu.Unlock()
+	if !idle {
+		select {
+		case <-s.drainIdle:
+		case <-ctx.Done():
+		}
+	}
 	s.cancel()
 	s.wg.Wait()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			s.completeLocked(j, StateFailed, shutdownMsg, false)
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			log.Printf("service: closing job journal: %v", err)
+		}
+		s.journal = nil
+	}
+	s.mu.Unlock()
+	close(s.shutdownDone)
 }
 
 // Submit validates and admits one job. A spec whose canonical hash is
-// already in the report cache completes immediately with Cached set; anything
-// else enqueues the job's shard units, failing with ErrQueueFull when they
-// do not fit the queue bound.
+// already in the report cache completes immediately with Cached set; a spec
+// matching a job still queued or running coalesces onto it as a follower
+// (Coalesced set) and resolves when the leader does; anything else enqueues
+// the job's shard units, failing with ErrQueueFull (Retry-After estimate
+// attached) when they do not fit the queue bound, or ErrDraining during
+// shutdown.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	def, err := experiments.Lookup(req.Experiment)
 	if err != nil {
@@ -183,6 +357,9 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
 	s.seq++
 	j := &job{
 		id:         fmt.Sprintf("job-%06d", s.seq),
@@ -199,31 +376,153 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		s.evictLocked()
 		return s.statusLocked(j), nil
 	}
-	shards := req.Shards
-	if shards <= 1 {
-		j.units = []*unit{{job: j, state: StateQueued}}
-	} else {
-		for i := 0; i < shards; i++ {
-			j.units = append(j.units, &unit{
-				job:   j,
-				shard: experiments.Shard{Index: i, Count: shards},
-				state: StateQueued,
-			})
+	if leader := s.inflight[hash]; leader != nil {
+		// Singleflight coalescing: attach to the in-flight computation of
+		// the same spec instead of queueing a duplicate. Followers consume
+		// no queue capacity and resolve when the leader finalises.
+		j.coalesced = true
+		j.state = leader.state
+		j.started = leader.started
+		leader.followers = append(leader.followers, j)
+		s.coalesced++
+		s.jobs[j.id] = j
+		s.journalAcceptLocked(j, req.Spec, req.Shards)
+		s.evictLocked()
+		return s.statusLocked(j), nil
+	}
+	units := makeUnits(j, req.Shards)
+	if s.queued+len(units) > s.cfg.QueueCapacity {
+		return JobStatus{}, &queueFullError{
+			units: len(units), capacity: s.cfg.QueueCapacity, queued: s.queued,
+			retryAfter: s.retryAfterLocked(),
 		}
 	}
-	if s.queued+len(j.units) > s.cfg.QueueCapacity {
-		return JobStatus{}, fmt.Errorf("%w: %d unit(s) would exceed the %d-unit bound (%d queued)",
-			ErrQueueFull, len(j.units), s.cfg.QueueCapacity, s.queued)
-	}
+	j.units = units
 	j.state = StateQueued
 	j.remaining = len(j.units)
 	s.jobs[j.id] = j
+	s.inflight[hash] = j
+	s.journalAcceptLocked(j, req.Spec, req.Shards)
 	s.evictLocked()
 	for _, u := range j.units {
 		s.queued++
-		s.queue <- u // never blocks: queued <= QueueCapacity == cap(queue)
+		s.queue <- u // never blocks: queued <= QueueCapacity <= cap(queue)
 	}
 	return s.statusLocked(j), nil
+}
+
+// makeUnits builds a job's shard units (one unsharded unit for shards <= 1).
+func makeUnits(j *job, shards int) []*unit {
+	if shards <= 1 {
+		return []*unit{{job: j, state: StateQueued}}
+	}
+	units := make([]*unit, 0, shards)
+	for i := 0; i < shards; i++ {
+		units = append(units, &unit{
+			job:   j,
+			shard: experiments.Shard{Index: i, Count: shards},
+			state: StateQueued,
+		})
+	}
+	return units
+}
+
+// replayLocked re-admits one journaled job under its original ID on daemon
+// start. A spec that became cache-resolvable (the previous daemon finished a
+// sibling of the same hash) completes immediately; duplicates of a job
+// replayed earlier in the backlog coalesce onto it; anything else enqueues.
+// Records that no longer decode or validate are terminal-marked failed and
+// compacted away rather than wedging the restart. Callers hold s.mu.
+func (s *Server) replayLocked(rec journal.Accept) {
+	if n, ok := jobSeq(rec.ID); ok {
+		if n > s.seq {
+			s.seq = n
+		}
+	} else {
+		s.seq++
+		rec.ID = fmt.Sprintf("job-%06d", s.seq)
+	}
+	created := rec.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	j := &job{id: rec.ID, experiment: rec.Experiment, created: created}
+	s.jobs[j.id] = j
+	fail := func(msg string) {
+		j.state = StateRunning // completeLocked requires a non-terminal state
+		s.completeLocked(j, StateFailed, "journal replay: "+msg, true)
+	}
+	def, err := experiments.Lookup(rec.Experiment)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	var sreq SpecRequest
+	if err := json.Unmarshal(rec.Spec, &sreq); err != nil {
+		fail("decoding spec: " + err.Error())
+		return
+	}
+	if rec.Shards > 1 && !def.Shardable {
+		fail(fmt.Sprintf("experiment %q does not shard", rec.Experiment))
+		return
+	}
+	spec := sreq.Spec()
+	spec.Parallel = s.cfg.Parallel
+	j.spec = spec
+	// Recompute the content address instead of trusting the journaled one:
+	// a ReportVersion/ResultsVersion bump between restarts must re-run.
+	j.hash = experiments.SpecHash(rec.Experiment, spec)
+	if artifact, ok := s.cache.Get(j.hash); ok {
+		j.cached = true
+		j.artifact = artifact
+		j.state = StateRunning
+		s.completeLocked(j, StateDone, "", true)
+		return
+	}
+	if leader := s.inflight[j.hash]; leader != nil {
+		j.coalesced = true
+		j.state = leader.state
+		leader.followers = append(leader.followers, j)
+		s.coalesced++
+		return
+	}
+	j.units = makeUnits(j, rec.Shards)
+	j.state = StateQueued
+	j.remaining = len(j.units)
+	s.inflight[j.hash] = j
+	for _, u := range j.units {
+		s.queued++
+		s.queue <- u // the queue is sized to hold the whole backlog
+	}
+}
+
+// journalAcceptLocked appends one accepted job to the WAL. Journal failures
+// degrade durability, not availability: they are logged and the job still
+// runs. Callers hold s.mu.
+func (s *Server) journalAcceptLocked(j *job, spec SpecRequest, shards int) {
+	if s.journal == nil {
+		return
+	}
+	raw, err := json.Marshal(spec)
+	if err == nil {
+		err = s.journal.Accept(journal.Accept{
+			ID: j.id, Experiment: j.experiment, Spec: raw,
+			Shards: shards, Hash: j.hash, Created: j.created,
+		})
+	}
+	if err != nil {
+		log.Printf("service: journaling job %s failed (job runs, restart will not resume it): %v", j.id, err)
+	}
+}
+
+// journalDoneLocked marks one job finished in the WAL. Callers hold s.mu.
+func (s *Server) journalDoneLocked(id string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Done(id); err != nil {
+		log.Printf("service: journaling completion of %s: %v", id, err)
+	}
 }
 
 // finishLocked marks j terminal and records it in the eviction queue (a job
@@ -235,6 +534,36 @@ func (s *Server) finishLocked(j *job, state, errMsg string) {
 	s.terminal = append(s.terminal, j.id)
 }
 
+// completeLocked finishes a non-terminal job and all its still-pending
+// followers with the same terminal state (followers of a done leader share
+// its artifact), deregisters the in-flight hash entry, and — unless the job
+// is being abandoned by shutdown — marks the journal records done so they
+// compact away instead of replaying. Callers hold s.mu.
+func (s *Server) completeLocked(j *job, state, errMsg string, journalDone bool) {
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	s.finishLocked(j, state, errMsg)
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	if journalDone {
+		s.journalDoneLocked(j.id)
+	}
+	for _, f := range j.followers {
+		if f.state == StateDone || f.state == StateFailed {
+			continue
+		}
+		if state == StateDone {
+			f.artifact = j.artifact
+		}
+		s.finishLocked(f, state, errMsg)
+		if journalDone {
+			s.journalDoneLocked(f.id)
+		}
+	}
+}
+
 // evictLocked drops the oldest terminal jobs beyond the MaxJobs bound, so a
 // long-running daemon's job map cannot grow without limit. Callers hold s.mu.
 func (s *Server) evictLocked() {
@@ -243,6 +572,26 @@ func (s *Server) evictLocked() {
 		s.terminal = s.terminal[1:]
 		delete(s.jobs, id)
 	}
+}
+
+// retryAfterLocked estimates when a rejected submitter should retry: the
+// current unit backlog divided across the worker pool at the recent mean
+// unit duration (1 s floor before any unit has completed), clamped to
+// [1 s, 5 min]. Callers hold s.mu.
+func (s *Server) retryAfterLocked() time.Duration {
+	mean := time.Duration(s.meanUnitNs)
+	if mean <= 0 {
+		mean = time.Second
+	}
+	backlog := s.queued + s.inFlight
+	d := mean * time.Duration(backlog) / time.Duration(s.cfg.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
 }
 
 // Job returns the status of one job.
@@ -276,21 +625,29 @@ func (s *Server) Artifact(id string) ([]byte, error) {
 	}
 }
 
-// Health snapshots the daemon's load.
+// Health snapshots the daemon's load. Status is "draining" once Shutdown or
+// Close has begun, "ok" otherwise.
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	hits, misses := s.cache.Stats()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
 	return Health{
-		Status:        "ok",
-		QueueDepth:    s.queued,
-		QueueCapacity: s.cfg.QueueCapacity,
-		InFlight:      s.inFlight,
-		Workers:       s.cfg.Workers,
-		Jobs:          len(s.jobs),
-		CacheEntries:  s.cache.Len(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
+		Status:           status,
+		QueueDepth:       s.queued,
+		QueueCapacity:    s.cfg.QueueCapacity,
+		InFlight:         s.inFlight,
+		Workers:          s.cfg.Workers,
+		Jobs:             len(s.jobs),
+		CoalescedJobs:    s.coalesced,
+		CacheEntries:     s.cache.Len(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheWriteErrors: s.cacheErrs,
+		MeanUnitMs:       s.meanUnitNs / 1e6,
 	}
 }
 
@@ -302,6 +659,7 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		Hash:       j.hash,
 		State:      j.state,
 		Cached:     j.cached,
+		Coalesced:  j.coalesced,
 		Error:      j.errMsg,
 		Created:    j.created,
 		Started:    j.started,
@@ -336,9 +694,16 @@ func (s *Server) runUnit(u *unit) {
 	j := u.job
 	s.mu.Lock()
 	s.queued--
-	if j.state == StateFailed || s.ctx.Err() != nil {
-		// A sibling shard already failed the job (or the daemon is closing):
-		// don't burn a worker on a result nobody will merge.
+	if s.draining || s.ctx.Err() != nil {
+		// The daemon is draining: leave the unit unstarted. Its job is
+		// terminal-marked by the shutdown sweep, and its journal record
+		// survives for the next daemon to resume.
+		s.mu.Unlock()
+		return
+	}
+	if j.state == StateFailed {
+		// A sibling shard already failed the job: don't burn a worker on a
+		// result nobody will merge.
 		u.state = StateFailed
 		s.mu.Unlock()
 		return
@@ -348,38 +713,67 @@ func (s *Server) runUnit(u *unit) {
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = time.Now()
+		for _, f := range j.followers {
+			if f.state == StateQueued {
+				f.state = StateRunning
+				f.started = j.started
+			}
+		}
 	}
 	s.mu.Unlock()
 
-	spec := j.spec
-	spec.Shard = u.shard
-	spec.Progress = func(done, total int) {
-		s.mu.Lock()
-		u.done, u.total = done, total
-		s.mu.Unlock()
+	start := time.Now()
+	var rep *experiments.Report
+	var err error
+	if hook := s.cfg.FaultHook; hook != nil {
+		err = hook(s.ctx, j.experiment, u.shard)
 	}
-	rep, err := experiments.Run(s.ctx, j.experiment, spec)
+	if err == nil {
+		spec := j.spec
+		spec.Shard = u.shard
+		spec.Progress = func(done, total int) {
+			s.mu.Lock()
+			u.done, u.total = done, total
+			s.mu.Unlock()
+		}
+		rep, err = experiments.Run(s.ctx, j.experiment, spec)
+	}
+	dur := time.Since(start)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inFlight--
+	// EWMA of unit duration feeds the Retry-After backpressure estimate.
+	if s.meanUnitNs == 0 {
+		s.meanUnitNs = float64(dur)
+	} else {
+		s.meanUnitNs = 0.8*s.meanUnitNs + 0.2*float64(dur)
+	}
 	if err != nil {
 		u.state = StateFailed
-		if j.state != StateFailed {
-			s.finishLocked(j, StateFailed, err.Error())
+		if s.ctx.Err() != nil {
+			// Cancelled by Close/expired drain: abandon without journaling
+			// completion, so a restart resumes the job.
+			s.completeLocked(j, StateFailed, shutdownMsg, false)
+		} else {
+			s.completeLocked(j, StateFailed, err.Error(), true)
 		}
-		return
+	} else {
+		u.state = StateDone
+		u.rep = rep
+		j.remaining--
+		if j.remaining == 0 {
+			s.finalizeLocked(j)
+		}
 	}
-	u.state = StateDone
-	u.rep = rep
-	j.remaining--
-	if j.remaining == 0 {
-		s.finalizeLocked(j)
+	if s.draining && s.inFlight == 0 {
+		s.drainOnce.Do(func() { close(s.drainIdle) })
 	}
 }
 
-// finalizeLocked merges a job's shard partials, renders the artifact and
-// stores it in the report cache. Callers hold s.mu.
+// finalizeLocked merges a job's shard partials, renders the artifact, stores
+// it in the report cache and resolves the job with all its coalesced
+// followers. Callers hold s.mu.
 func (s *Server) finalizeLocked(j *job) {
 	rep := j.units[0].rep
 	if len(j.units) > 1 {
@@ -389,20 +783,26 @@ func (s *Server) finalizeLocked(j *job) {
 		}
 		merged, err := experiments.MergeReports(parts)
 		if err != nil {
-			s.finishLocked(j, StateFailed, err.Error())
+			s.completeLocked(j, StateFailed, err.Error(), true)
 			return
 		}
 		rep = merged
 	}
 	var buf bytes.Buffer
 	if err := experiments.WriteArtifact(&buf, []*experiments.Report{rep}); err != nil {
-		s.finishLocked(j, StateFailed, err.Error())
+		s.completeLocked(j, StateFailed, err.Error(), true)
 		return
 	}
 	j.artifact = buf.Bytes()
-	s.finishLocked(j, StateDone, "")
 	// A cache write failure (disk full, permissions) must not fail the job:
 	// the artifact is already in memory; only future resubmissions lose the
-	// shortcut.
-	_ = s.cache.Put(j.hash, j.artifact)
+	// shortcut. It is counted in Health and logged once per distinct error.
+	if err := s.cache.Put(j.hash, j.artifact); err != nil {
+		s.cacheErrs++
+		if !s.cacheErrSeen[err.Error()] {
+			s.cacheErrSeen[err.Error()] = true
+			log.Printf("service: report cache write failed (artifact kept in memory): %v", err)
+		}
+	}
+	s.completeLocked(j, StateDone, "", true)
 }

@@ -248,16 +248,27 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
-// TestQueueBoundAndUnfinishedReport uses a daemon whose workers are stopped:
-// submissions stay queued, the report endpoint answers 409, and the
-// unit-bounded queue rejects overflow with 503.
+// TestQueueBoundAndUnfinishedReport wedges the single worker with a blocking
+// fault hook: the submitted job stays unfinished (report answers 409) and
+// the unit-bounded queue rejects overflow with 429, then completes normally
+// once the hook releases.
 func TestQueueBoundAndUnfinishedReport(t *testing.T) {
-	srv, c := startDaemon(t, service.Config{Workers: 1, QueueCapacity: 3})
-	srv.Close() // stop the workers; queued jobs never start
+	gate := make(chan struct{})
+	_, c := startDaemon(t, service.Config{
+		Workers: 1, QueueCapacity: 3,
+		FaultHook: func(ctx context.Context, _ string, _ experiments.Shard) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
 	ctx := context.Background()
 
 	st, err := c.Submit(ctx, service.JobRequest{
-		Experiment: "table2", Spec: service.SpecRequest{Quick: true}, Shards: 2,
+		Experiment: "table2", Spec: service.SpecRequest{Quick: true, Battery: "kibam"}, Shards: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -272,20 +283,22 @@ func TestQueueBoundAndUnfinishedReport(t *testing.T) {
 		t.Fatalf("report of queued job err = %v, want HTTP 409", err)
 	}
 
-	// 2 units are queued of 3 capacity: another 2-shard job cannot fit.
+	// The first job holds 2 of 3 capacity units (one may be in flight,
+	// wedged in the hook): a 3-shard job cannot fit either way.
 	_, err = c.Submit(ctx, service.JobRequest{
-		Experiment: "grid", Spec: service.SpecRequest{Quick: true}, Shards: 2,
+		Experiment: "grid", Spec: service.SpecRequest{Quick: true}, Shards: 3,
 	})
-	if !errors.As(err, &ae) || ae.Status != 503 {
-		t.Fatalf("overflow submit err = %v, want HTTP 503", err)
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("overflow submit err = %v, want HTTP 429", err)
 	}
 
-	h, err := c.Health(ctx)
+	close(gate)
+	final, err := c.Wait(ctx, st.ID, 5*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.QueueDepth != 2 {
-		t.Fatalf("queue depth = %d, want 2", h.QueueDepth)
+	if final.State != service.StateDone {
+		t.Fatalf("released job state = %s: %s", final.State, final.Error)
 	}
 }
 
