@@ -14,6 +14,7 @@ import (
 	"battsched/internal/core"
 	"battsched/internal/dvs"
 	"battsched/internal/experiments"
+	"battsched/internal/federation"
 	"battsched/internal/optimal"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
@@ -532,4 +533,32 @@ func NewExperimentServiceClient(baseURL string) *ExperimentServiceClient {
 // dropping the execution-only knobs the daemon owns.
 func ServiceSpecRequestFrom(spec ExperimentSpec) ServiceSpecRequest {
 	return service.SpecRequestFrom(spec)
+}
+
+// Federation (see internal/federation and `cmd/battschedd -coordinator`): a
+// coordinator that serves the same job API but executes nothing itself,
+// dispatching shard units across a fleet of remote daemons under
+// time-bounded leases — dead workers re-dispatch, stragglers run
+// speculatively (first completion wins), partials merge incrementally, and
+// the merged artifact matches the local run byte for byte.
+type (
+	// FederationCoordinator is the fleet coordinator: construct with
+	// NewFederationCoordinator, expose over HTTP with its Handler method,
+	// stop with Close. ExperimentServiceClient drives it unchanged.
+	FederationCoordinator = federation.Coordinator
+	// FederationConfig tunes one coordinator (fleet URLs, lease and
+	// heartbeat periods, straggler factor, cache/journal directory).
+	FederationConfig = federation.Config
+	// FederationWorkerStatus is one registry entry from the coordinator's
+	// /v1/workers listing (URL, liveness, slots, active leases).
+	FederationWorkerStatus = federation.WorkerStatus
+	// ServiceFleetHealth is the fleet section of a coordinator's /healthz
+	// snapshot (live workers, queued/leased units, re-dispatch counters).
+	ServiceFleetHealth = service.FleetHealth
+)
+
+// NewFederationCoordinator constructs a coordinator over cfg.Workers and
+// starts its heartbeat, dispatch and lease-monitor loops.
+func NewFederationCoordinator(cfg FederationConfig) (*FederationCoordinator, error) {
+	return federation.New(cfg)
 }

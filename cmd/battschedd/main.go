@@ -27,8 +27,17 @@
 // answers 429 with a Retry-After estimate; SIGINT/SIGTERM drains gracefully
 // (-drain-timeout bounds the wait for in-flight units).
 //
+// With -coordinator, battschedd becomes a federation coordinator instead
+// (see internal/federation): it executes nothing itself but keeps a registry
+// of remote battschedd workers (-fleet, plus POST /v1/workers at runtime),
+// heartbeats their /healthz, splits each job into shard units and dispatches
+// the units under time-bounded leases, re-dispatching units whose leases
+// expire (dead workers) and speculatively duplicating stragglers — first
+// completion wins. The coordinator serves the same /v1 API, so
+// `cmd/experiments submit` works unchanged against either mode.
+//
 // `cmd/experiments submit` drives a daemon with the same flags as local
-// `run`; see EXPERIMENTS.md ("Serving") for a curl walkthrough.
+// `run`; see EXPERIMENTS.md ("Serving", "Federation") for walkthroughs.
 package main
 
 import (
@@ -41,9 +50,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"battsched/internal/federation"
 	"battsched/internal/service"
 )
 
@@ -64,6 +75,20 @@ func run(args []string) error {
 		cacheDir     = fs.String("cache-dir", "", "on-disk content-addressed report store and job journal (default: memory-only, no journal)")
 		cacheEntries = fs.Int("cache-entries", 64, "in-memory report cache LRU size")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight units before cancelling them")
+		// The journal is process-kill durable by default (records ride the OS
+		// page cache). -journal-fsync adds power-loss durability by syncing
+		// every record before the append returns, at ~180x the append cost:
+		// an accept+done record pair measures ~4.5us unsynced vs ~820us
+		// fsynced on the dev container's disk (BenchmarkAppend vs
+		// BenchmarkAppendFsync in internal/service/journal).
+		journalFsync = fs.Bool("journal-fsync", false, "fsync every journal record (power-loss durability; ~180x slower appends)")
+
+		coordinator = fs.Bool("coordinator", false, "run as a federation coordinator dispatching to -fleet workers instead of executing locally")
+		fleet       = fs.String("fleet", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8344,http://h2:8344); more can register over POST /v1/workers")
+		lease       = fs.Duration("lease", 15*time.Second, "coordinator: unit lease duration (renewed by successful status polls)")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "coordinator: worker /healthz probe interval")
+		straggler   = fs.Float64("straggler-factor", 3, "coordinator: speculative re-dispatch once a unit runs this multiple of the fleet mean unit time")
+		maxAttempts = fs.Int("max-attempts", 3, "coordinator: dispatch attempts per unit before the job fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,17 +97,48 @@ func run(args []string) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
-	srv, err := service.New(service.Config{
-		Workers:       *workers,
-		QueueCapacity: *queue,
-		Parallel:      *parallel,
-		CacheDir:      *cacheDir,
-		CacheEntries:  *cacheEntries,
-	})
-	if err != nil {
-		return err
+	var daemon interface {
+		Handler() http.Handler
+		Shutdown(context.Context) error
+		Close()
 	}
-	defer srv.Close()
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*fleet, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		co, err := federation.New(federation.Config{
+			Workers:           urls,
+			HeartbeatInterval: *heartbeat,
+			LeaseDuration:     *lease,
+			StragglerFactor:   *straggler,
+			MaxAttempts:       *maxAttempts,
+			CacheDir:          *cacheDir,
+			CacheEntries:      *cacheEntries,
+			JournalFsync:      *journalFsync,
+			QueueCapacity:     *queue,
+		})
+		if err != nil {
+			return err
+		}
+		daemon = co
+	} else {
+		srv, err := service.New(service.Config{
+			Workers:       *workers,
+			QueueCapacity: *queue,
+			Parallel:      *parallel,
+			CacheDir:      *cacheDir,
+			CacheEntries:  *cacheEntries,
+			JournalFsync:  *journalFsync,
+		})
+		if err != nil {
+			return err
+		}
+		daemon = srv
+	}
+	defer daemon.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -90,16 +146,23 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, srv, ln, *drainTimeout)
+	return serve(ctx, daemon, ln, *drainTimeout)
+}
+
+// daemon is the common surface of the worker server and the federation
+// coordinator that serve() drives.
+type daemon interface {
+	Handler() http.Handler
+	Shutdown(context.Context) error
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then shuts down
 // gracefully: the daemon first drains (admissions answer 503, /healthz turns
-// "draining", in-flight units get drainTimeout to finish, queued jobs stay
+// "draining", in-flight work gets drainTimeout to finish, pending jobs stay
 // journaled for the next start), then the HTTP server closes. Split from run
 // so tests can drive it on an ephemeral port.
-func serve(ctx context.Context, srv *service.Server, ln net.Listener, drainTimeout time.Duration) error {
-	hs := &http.Server{Handler: srv.Handler()}
+func serve(ctx context.Context, d daemon, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: d.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	log.Printf("battschedd: serving on %s", ln.Addr())
@@ -109,10 +172,10 @@ func serve(ctx context.Context, srv *service.Server, ln net.Listener, drainTimeo
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("battschedd: draining (up to %s for in-flight units)", drainTimeout)
+	log.Printf("battschedd: draining (up to %s for in-flight work)", drainTimeout)
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancelDrain()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	if err := d.Shutdown(drainCtx); err != nil {
 		log.Printf("battschedd: drain: %v", err)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

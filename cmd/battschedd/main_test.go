@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"net"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"battsched/internal/federation"
 	"battsched/internal/service"
 	"battsched/internal/service/client"
 )
@@ -50,6 +52,72 @@ func TestServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestServeCoordinatorLifecycle boots serve() around a federation
+// coordinator fronting one in-process worker, runs a sharded job end to end
+// through the typed client, and drains through context cancellation —
+// proving *federation.Coordinator satisfies the daemon interface exactly
+// like *service.Server.
+func TestServeCoordinatorLifecycle(t *testing.T) {
+	srv, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	co, err := federation.New(federation.Config{
+		Workers:           []string{ts.URL},
+		HeartbeatInterval: 200 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, co, ln, time.Second) }()
+
+	c := client.New("http://" + ln.Addr().String())
+	st, err := c.Submit(context.Background(), service.JobRequest{
+		Experiment: "table2",
+		Spec:       service.SpecRequest{Quick: true, Sets: 8},
+		Shards:     2,
+	})
+	if err != nil {
+		t.Fatalf("federated submit through serve(): %v", err)
+	}
+	st, err = c.Wait(context.Background(), st.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("federated wait through serve(): %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("job state = %s, want done", st.State)
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fleet == nil || h.Fleet.Workers != 1 {
+		t.Fatalf("health fleet = %+v, want 1 worker", h.Fleet)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not shut down")
 	}
 }
 

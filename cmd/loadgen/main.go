@@ -7,6 +7,14 @@
 //	loadgen                               # self-hosted in-process daemon
 //	loadgen -server http://127.0.0.1:8344 # against a running battschedd
 //	loadgen -o BENCH_service.json.new -baseline BENCH_service.json
+//	loadgen -fleet 2 -shards 2            # self-hosted coordinator + 2 workers
+//
+// With -fleet n the self-hosted daemon is a federation coordinator fronting
+// n in-process workers (internal/federation), -shards fans each job across
+// the fleet, and the report's health snapshot carries the fleet section —
+// live workers, expired-lease re-dispatches, speculative dispatches, the
+// mean unit time. BENCH_federation.json is the committed fleet baseline;
+// -server pointed at a running coordinator works the same way.
 //
 // The workload is n jobs over max(1, n·(1-dup)) unique specs (quick Table 2
 // at distinct seeds), submitted by c concurrent clients in consecutive
@@ -38,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"battsched/internal/federation"
 	"battsched/internal/service"
 	"battsched/internal/service/client"
 )
@@ -53,6 +62,13 @@ type report struct {
 	Concurrency    int     `json:"concurrency"`
 	DuplicateRatio float64 `json:"duplicate_ratio"`
 	UniqueSpecs    int     `json:"unique_specs"`
+	// FleetWorkers and Shards describe federation runs (-fleet/-shards):
+	// the self-hosted worker count behind the coordinator and the per-job
+	// shard fan-out. Both zero for direct-daemon runs, keeping
+	// BENCH_service.json rows unchanged; the re-dispatch counters live in
+	// Health.Fleet.
+	FleetWorkers int `json:"fleet_workers,omitempty"`
+	Shards       int `json:"shards,omitempty"`
 	// WallMs is the whole run's wall time; ThroughputJobsPerSec is
 	// Jobs / wall — the saturation throughput the baseline gate tracks.
 	WallMs               float64 `json:"wall_ms"`
@@ -94,6 +110,8 @@ func run(args []string, stdout io.Writer) error {
 		battery    = fs.String("battery", "kibam", "battery model for the submitted specs")
 		workers    = fs.Int("workers", 4, "self-hosted daemon worker-pool size (ignored with -server)")
 		queue      = fs.Int("queue", 64, "self-hosted daemon queue bound in units (ignored with -server)")
+		fleetN     = fs.Int("fleet", 0, "self-host a federation coordinator fronting this many in-process workers (ignored with -server)")
+		shards     = fs.Int("shards", 0, "per-job shard fan-out (0: unsharded)")
 		maxRetries = fs.Int("max-retries", 8, "client retries per 429-rejected submission")
 		out        = fs.String("o", "", "write the JSON report to this file (default stdout)")
 		baseline   = fs.String("baseline", "", "compare against this committed BENCH_service.json and exit nonzero when throughput regresses beyond -noise")
@@ -108,9 +126,12 @@ func run(args []string, stdout io.Writer) error {
 	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
 		return fmt.Errorf("need -n > 0, -c > 0 and -dup in [0,1)")
 	}
+	if *fleetN < 0 || *shards < 0 {
+		return fmt.Errorf("need -fleet >= 0 and -shards >= 0")
+	}
 
 	base := *server
-	if base == "" {
+	if base == "" && *fleetN == 0 {
 		srv, err := service.New(service.Config{Workers: *workers, QueueCapacity: *queue})
 		if err != nil {
 			return err
@@ -119,12 +140,41 @@ func run(args []string, stdout io.Writer) error {
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL
+	} else if base == "" {
+		// -fleet n: an in-process federation — n worker daemons behind a
+		// coordinator, all over real HTTP so the dispatch, lease and poll
+		// paths are the ones a distributed deployment exercises.
+		var urls []string
+		for i := 0; i < *fleetN; i++ {
+			srv, err := service.New(service.Config{Workers: *workers, QueueCapacity: *queue})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			urls = append(urls, ts.URL)
+		}
+		co, err := federation.New(federation.Config{
+			Workers:           urls,
+			HeartbeatInterval: 200 * time.Millisecond,
+			PollInterval:      10 * time.Millisecond,
+			QueueCapacity:     *queue,
+		})
+		if err != nil {
+			return err
+		}
+		defer co.Close()
+		ts := httptest.NewServer(co.Handler())
+		defer ts.Close()
+		base = ts.URL
 	}
 
-	rep, err := hammer(base, *experiment, *battery, *n, *c, *dup, *maxRetries)
+	rep, err := hammer(base, *experiment, *battery, *n, *c, *dup, *shards, *maxRetries)
 	if err != nil {
 		return err
 	}
+	rep.FleetWorkers = *fleetN
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -153,7 +203,7 @@ func run(args []string, stdout io.Writer) error {
 
 // hammer drives the full workload against the daemon at base and collects
 // the run report.
-func hammer(base, experiment, battery string, n, c int, dup float64, maxRetries int) (report, error) {
+func hammer(base, experiment, battery string, n, c int, dup float64, shards, maxRetries int) (report, error) {
 	unique := int(math.Round(float64(n) * (1 - dup)))
 	if unique < 1 {
 		unique = 1
@@ -193,6 +243,7 @@ func hammer(base, experiment, battery string, n, c int, dup float64, maxRetries 
 				req := service.JobRequest{
 					Experiment: experiment,
 					Spec:       service.SpecRequest{Quick: true, Battery: battery, Seed: 1 + int64(i*unique/n)},
+					Shards:     shards,
 				}
 				jobStart := time.Now()
 				st, err := cl.Submit(ctx, req)
@@ -230,6 +281,7 @@ func hammer(base, experiment, battery string, n, c int, dup float64, maxRetries 
 	rep.Concurrency = c
 	rep.DuplicateRatio = dup
 	rep.UniqueSpecs = unique
+	rep.Shards = shards
 	rep.WallMs = float64(wall) / 1e6
 	rep.ThroughputJobsPerSec = float64(n) / wall.Seconds()
 	rep.P50Ms = percentile(latencies, 0.50)

@@ -52,6 +52,41 @@ func TestSelfHostedBurst(t *testing.T) {
 	}
 }
 
+// TestFleetBurst runs a sharded burst through a self-hosted coordinator
+// fronting two in-process workers and checks the report carries the fleet
+// dimensions and health section.
+func TestFleetBurst(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	args := []string{"-n", "20", "-c", "4", "-dup", "0.8", "-fleet", "2", "-shards", "2", "-workers", "2", "-o", out}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.FleetWorkers != 2 || rep.Shards != 2 {
+		t.Fatalf("fleet dims = %d workers / %d shards, want 2/2", rep.FleetWorkers, rep.Shards)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d jobs failed", rep.Failures)
+	}
+	if rep.Coalesced+rep.CacheHits == 0 {
+		t.Fatal("dup=0.8 fleet burst produced no coalesce or cache hits")
+	}
+	if rep.Health.Fleet == nil {
+		t.Fatal("report health is missing the fleet section")
+	}
+	if rep.Health.Fleet.Workers != 2 || rep.Health.Fleet.LiveWorkers != 2 {
+		t.Fatalf("fleet health = %+v, want 2 live of 2", rep.Health.Fleet)
+	}
+}
+
 // TestFlagValidation covers the argument error paths.
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
@@ -59,6 +94,8 @@ func TestFlagValidation(t *testing.T) {
 		{"positional"},
 		{"-n", "0"},
 		{"-dup", "1.5"},
+		{"-fleet", "-1"},
+		{"-shards", "-2"},
 		{"-server", "http://127.0.0.1:1", "-n", "1"}, // nothing listening
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {

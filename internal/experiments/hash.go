@@ -75,3 +75,18 @@ func SpecHash(experiment string, spec Spec) string {
 	sum := sha256.Sum256([]byte(CanonicalSpec(experiment, spec)))
 	return hex.EncodeToString(sum[:])
 }
+
+// ShardSpecHash returns the content address of one shard partial of the run:
+// the canonical encoding extended with the shard line, hashed. Shard partials
+// are bit-exact functions of (spec, shard) — the set-index partition is
+// deterministic — so the address is safe to cache and deduplicate against: a
+// speculatively re-dispatched unit recomputes the identical partial bytes.
+// A disabled shard returns SpecHash (the complete run's address).
+func ShardSpecHash(experiment string, spec Spec, shard Shard) string {
+	if !shard.Enabled() {
+		return SpecHash(experiment, spec)
+	}
+	enc := CanonicalSpec(experiment, spec) + fmt.Sprintf("shard=%d/%d\n", shard.Index, shard.Count)
+	sum := sha256.Sum256([]byte(enc))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"sort"
+	"strings"
+
+	"battsched/internal/stats"
+)
+
+// ErrDuplicateShard reports an Add of a shard index the merger has already
+// folded. Callers distributing speculative duplicates (the federation
+// coordinator re-dispatches straggler units, first completion wins) check for
+// it and discard the late copy — shard partials are content-addressed and
+// bit-exact, so the duplicate carries no new information.
+var ErrDuplicateShard = errors.New("experiments: shard partial already merged")
+
+// ReportMerger folds the shard partials of one experiment run into the
+// complete run's Report one partial at a time, in any arrival order — the
+// incremental counterpart of MergeReports for consumers that receive partials
+// as they finish (the federation coordinator) rather than all at once.
+//
+// The result is arrival-order independent and matches MergeReports: cells
+// whose partials all retain their samples re-fold them in absolute set order
+// (bit-for-bit the single MergeReports call, and therefore the single-process
+// run); sample-free cells (the scenario grid's chunk merges) combine Welford
+// state as partials arrive, which reassociates the floating-point reduction —
+// the same documented bound MergeReports carries for those cells.
+//
+// Construct with NewReportMerger, Add each partial, and call Report once
+// Complete. The merger holds only the folded state plus the retained samples,
+// not the partials themselves.
+type ReportMerger struct {
+	count    int
+	seen     map[int]bool
+	template *Report // meta + row structure from the first partial
+	rows     []mergedRow
+}
+
+// mergedRow accumulates one report row across partials.
+type mergedRow struct {
+	cells  map[string]*mergedCell
+	counts map[string]int
+}
+
+// mergedCell accumulates one metric cell. While exact, the sorted
+// (set, sample) pairs of every partial so far are retained and the final fold
+// happens in Report (ascending set order, bit-for-bit MergeReports); once any
+// partial arrives sample-free the cell degrades to running Welford state.
+type mergedCell struct {
+	exact   bool
+	sets    []int
+	samples []float64
+	acc     stats.Accumulator
+}
+
+// NewReportMerger returns a merger expecting the partials of a count-way
+// sharded run (count >= 1; count 1 accepts the single 0/1-style partial of a
+// degenerate split, though complete runs need no merger).
+func NewReportMerger(count int) (*ReportMerger, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("%w: report merger needs a positive shard count, got %d", ErrBadConfig, count)
+	}
+	return &ReportMerger{count: count, seen: make(map[int]bool)}, nil
+}
+
+// Seen reports whether the shard index has already been folded.
+func (m *ReportMerger) Seen(index int) bool { return m.seen[index] }
+
+// Added returns the number of distinct partials folded so far.
+func (m *ReportMerger) Added() int { return len(m.seen) }
+
+// Complete reports whether every shard 0..count-1 has been folded.
+func (m *ReportMerger) Complete() bool { return len(m.seen) == m.count }
+
+// Add folds one shard partial. A partial whose index was already folded
+// returns ErrDuplicateShard and changes nothing; a partial that disagrees
+// with the ones folded so far (experiment, shard count, meta, row structure)
+// fails like MergeReports would.
+func (m *ReportMerger) Add(p *Report) error {
+	if err := m.validate(p); err != nil {
+		return err
+	}
+	if m.template == nil {
+		m.template = &Report{
+			Version:    ReportVersion,
+			Experiment: p.Experiment,
+			Meta:       maps.Clone(p.Meta),
+		}
+		m.rows = make([]mergedRow, len(p.Rows))
+		for ri, row := range p.Rows {
+			m.template.Rows = append(m.template.Rows, ReportRow{Key: row.Key, Labels: maps.Clone(row.Labels)})
+			cells := make(map[string]*mergedCell, len(row.Cells))
+			for name := range row.Cells {
+				cells[name] = &mergedCell{exact: true}
+			}
+			m.rows[ri] = mergedRow{cells: cells}
+		}
+	}
+	for ri, row := range p.Rows {
+		mr := &m.rows[ri]
+		for name, n := range row.Counts {
+			if mr.counts == nil {
+				mr.counts = make(map[string]int)
+			}
+			mr.counts[name] += n
+		}
+		for name, c := range row.Cells {
+			if err := mr.cells[name].add(c); err != nil {
+				return fmt.Errorf("%s row %q cell %q: %w", p.Experiment, row.Key, name, err)
+			}
+		}
+	}
+	m.seen[p.Shard.Index] = true
+	return nil
+}
+
+// validate checks one incoming partial against the merger's expectations and
+// the partials folded so far, mirroring ValidateShardCoverage/MergeReports.
+func (m *ReportMerger) validate(p *Report) error {
+	if p == nil {
+		return fmt.Errorf("experiments: nil report")
+	}
+	if p.Version != ReportVersion {
+		return fmt.Errorf("experiments: report version %d, want %d", p.Version, ReportVersion)
+	}
+	if p.Shard == nil {
+		return fmt.Errorf("experiments: %q report is not a shard partial (complete runs do not merge)", p.Experiment)
+	}
+	if p.Shard.Count != m.count {
+		return fmt.Errorf("experiments: %q partial is shard %d/%d, want a %d-way split",
+			p.Experiment, p.Shard.Index, p.Shard.Count, m.count)
+	}
+	if p.Shard.Index < 0 || p.Shard.Index >= m.count {
+		return fmt.Errorf("experiments: %q has corrupt shard %d/%d", p.Experiment, p.Shard.Index, m.count)
+	}
+	if m.seen[p.Shard.Index] {
+		return fmt.Errorf("%w: %q shard %d/%d", ErrDuplicateShard, p.Experiment, p.Shard.Index, m.count)
+	}
+	if m.template == nil {
+		return nil
+	}
+	if p.Experiment != m.template.Experiment {
+		return fmt.Errorf("experiments: cannot merge %q with %q", p.Experiment, m.template.Experiment)
+	}
+	if !maps.Equal(p.Meta, m.template.Meta) {
+		return fmt.Errorf("experiments: %q shard %d was run with a different configuration (meta %v vs %v)",
+			p.Experiment, p.Shard.Index, p.Meta, m.template.Meta)
+	}
+	if len(p.Rows) != len(m.template.Rows) {
+		return fmt.Errorf("experiments: %q shard %d has %d rows, want %d",
+			p.Experiment, p.Shard.Index, len(p.Rows), len(m.template.Rows))
+	}
+	for ri, row := range p.Rows {
+		want := m.template.Rows[ri]
+		if row.Key != want.Key || !maps.Equal(row.Labels, want.Labels) {
+			return fmt.Errorf("experiments: %q row %d differs across shards (%q vs %q)",
+				p.Experiment, ri, row.Key, want.Key)
+		}
+		for name := range m.rows[ri].cells {
+			if _, ok := row.Cells[name]; !ok {
+				return fmt.Errorf("experiments: %q row %q misses cell %q in shard %d",
+					p.Experiment, row.Key, name, p.Shard.Index)
+			}
+		}
+		for name := range row.Cells {
+			if _, ok := m.rows[ri].cells[name]; !ok {
+				return fmt.Errorf("experiments: %q row %q has unexpected cell %q in shard %d",
+					p.Experiment, row.Key, name, p.Shard.Index)
+			}
+		}
+	}
+	return nil
+}
+
+// add folds one partial's cell.
+func (c *mergedCell) add(p Cell) error {
+	switch {
+	case c.exact && p.replayable():
+		// Merge-insert the partial's (set, sample) pairs, keeping the retained
+		// run sorted by absolute set index. Partials retain samples in fold
+		// order (ascending sets), so this is a linear two-way merge.
+		merged := make([]int, 0, len(c.sets)+len(p.Sets))
+		samples := make([]float64, 0, len(c.sets)+len(p.Sets))
+		i, j := 0, 0
+		for i < len(c.sets) || j < len(p.Sets) {
+			switch {
+			case j >= len(p.Sets) || (i < len(c.sets) && c.sets[i] < p.Sets[j]):
+				merged = append(merged, c.sets[i])
+				samples = append(samples, c.samples[i])
+				i++
+			case i >= len(c.sets) || p.Sets[j] < c.sets[i]:
+				merged = append(merged, p.Sets[j])
+				samples = append(samples, p.Samples[j])
+				j++
+			default:
+				return fmt.Errorf("experiments: duplicate sample for set %d across shards", p.Sets[j])
+			}
+		}
+		// Guard against an unsorted partial (never produced by the drivers).
+		if !sort.IntsAreSorted(merged) {
+			sort.Sort(&cellOrder{merged, samples})
+		}
+		c.sets, c.samples = merged, samples
+	case c.exact:
+		// A sample-free partial arrived: degrade to Welford state. The samples
+		// folded so far collapse to their accumulator state first (ascending
+		// set order), then every later partial merges state — within the
+		// documented reassociation bound of MergeReports' state path.
+		var acc stats.Accumulator
+		for _, x := range c.samples {
+			acc.Add(x)
+		}
+		acc.Merge(stats.FromState(p.State))
+		c.acc = acc
+		c.exact = false
+		c.sets, c.samples = nil, nil
+	default:
+		c.acc.Merge(stats.FromState(p.State))
+	}
+	return nil
+}
+
+// cellOrder sorts parallel (sets, samples) slices by set index.
+type cellOrder struct {
+	sets    []int
+	samples []float64
+}
+
+func (o *cellOrder) Len() int           { return len(o.sets) }
+func (o *cellOrder) Less(i, j int) bool { return o.sets[i] < o.sets[j] }
+func (o *cellOrder) Swap(i, j int) {
+	o.sets[i], o.sets[j] = o.sets[j], o.sets[i]
+	o.samples[i], o.samples[j] = o.samples[j], o.samples[i]
+}
+
+// Report returns the complete run's merged report. It fails with the missing
+// shards named, like ValidateShardCoverage, while coverage is incomplete.
+func (m *ReportMerger) Report() (*Report, error) {
+	if !m.Complete() {
+		var missing []string
+		for i := 0; i < m.count; i++ {
+			if !m.seen[i] {
+				missing = append(missing, fmt.Sprintf("%d/%d", i, m.count))
+			}
+		}
+		exp := "run"
+		if m.template != nil {
+			exp = fmt.Sprintf("%q", m.template.Experiment)
+		}
+		return nil, fmt.Errorf("experiments: %s shard coverage is incomplete: missing partial(s) %s",
+			exp, strings.Join(missing, ", "))
+	}
+	out := &Report{
+		Version:    ReportVersion,
+		Experiment: m.template.Experiment,
+		Meta:       maps.Clone(m.template.Meta),
+		Rows:       make([]ReportRow, len(m.template.Rows)),
+	}
+	for ri, row := range m.template.Rows {
+		or := ReportRow{
+			Key:    row.Key,
+			Labels: maps.Clone(row.Labels),
+			Cells:  make(map[string]Cell, len(m.rows[ri].cells)),
+		}
+		if len(m.rows[ri].counts) > 0 {
+			or.Counts = maps.Clone(m.rows[ri].counts)
+		}
+		for name, c := range m.rows[ri].cells {
+			if c.exact {
+				// The final fold over the sorted retained samples is exactly
+				// MergeReports' exact path: a fresh accumulator fed in
+				// ascending set order.
+				acc := metricAcc{sets: make([]int, 0, len(c.sets)), samples: make([]float64, 0, len(c.samples))}
+				for i, set := range c.sets {
+					acc.Add(set, c.samples[i])
+				}
+				or.Cells[name] = acc.Cell()
+			} else {
+				or.Cells[name] = Cell{State: c.acc.State()}
+			}
+		}
+		out.Rows[ri] = or
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardPartials runs every shard of name and returns the partials in shard
+// order (no merge).
+func shardPartials(t *testing.T, name string, spec Spec, count int) []*Report {
+	t.Helper()
+	parts := make([]*Report, count)
+	for i := 0; i < count; i++ {
+		s := spec
+		s.Shard = Shard{Index: i, Count: count}
+		rep, err := Run(context.Background(), name, s)
+		if err != nil {
+			t.Fatalf("%s shard %d/%d: %v", name, i, count, err)
+		}
+		parts[i] = rep
+	}
+	return parts
+}
+
+// foldInOrder folds the partials through a ReportMerger in the given arrival
+// order and returns the merged report.
+func foldInOrder(t *testing.T, parts []*Report, order []int) *Report {
+	t.Helper()
+	m, err := NewReportMerger(len(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range order {
+		if m.Complete() {
+			t.Fatalf("merger complete after %d of %d partials", k, len(parts))
+		}
+		if err := m.Add(parts[i]); err != nil {
+			t.Fatalf("fold shard %d (arrival %d): %v", i, k, err)
+		}
+	}
+	if !m.Complete() {
+		t.Fatal("merger incomplete after all partials")
+	}
+	rep, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// artifactBytes serialises one report exactly like the service does.
+func artifactBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIncrementalMergeMatchesMergeReports is the incremental-merge property
+// pin: folding shard partials into a ReportMerger one at a time, in any
+// arrival order, equals the single MergeReports call over all partials —
+// bit-for-bit for the per-set drivers (replayable cells re-fold in absolute
+// set order), and within Welford reassociation for the scenario grid's
+// sample-free cells. The federation coordinator merges incrementally, so this
+// is what keeps its served artifacts byte-identical to local run -o.
+func TestIncrementalMergeMatchesMergeReports(t *testing.T) {
+	const shards = 4
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+		{1, 3, 0, 2},
+	}
+
+	t.Run("table2-exact", func(t *testing.T) {
+		parts := shardPartials(t, "table2", Spec{Quick: true, Battery: "kibam"}, shards)
+		want, err := MergeReports(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := artifactBytes(t, want)
+		for _, order := range orders {
+			got := foldInOrder(t, parts, order)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("arrival order %v: incremental merge differs from MergeReports", order)
+			}
+			if !bytes.Equal(artifactBytes(t, got), wantBytes) {
+				t.Fatalf("arrival order %v: artifact bytes differ", order)
+			}
+		}
+	})
+
+	t.Run("grid-welford", func(t *testing.T) {
+		parts := shardPartials(t, "grid", Spec{Quick: true, Battery: "kibam"}, shards)
+		want, err := MergeReports(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range orders {
+			got := foldInOrder(t, parts, order)
+			compareWithinReassociation(t, got, want)
+		}
+	})
+}
+
+// compareWithinReassociation checks that two merged reports agree exactly on
+// structure, counts, N, min and max, and on mean/M2 within a few ulps of
+// floating-point reassociation.
+func compareWithinReassociation(t *testing.T, got, want *Report) {
+	t.Helper()
+	if got.Experiment != want.Experiment || !reflect.DeepEqual(got.Meta, want.Meta) ||
+		len(got.Rows) != len(want.Rows) {
+		t.Fatalf("report structure differs: %s/%d rows vs %s/%d rows",
+			got.Experiment, len(got.Rows), want.Experiment, len(want.Rows))
+	}
+	const relTol = 1e-9
+	approx := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= relTol*scale
+	}
+	for ri, row := range want.Rows {
+		gr := got.Rows[ri]
+		if gr.Key != row.Key || !reflect.DeepEqual(gr.Counts, row.Counts) {
+			t.Fatalf("row %d: key/counts differ (%q vs %q)", ri, gr.Key, row.Key)
+		}
+		for name, wc := range row.Cells {
+			gc, ok := gr.Cells[name]
+			if !ok {
+				t.Fatalf("row %q misses cell %q", row.Key, name)
+			}
+			if gc.N != wc.N || gc.Min != wc.Min || gc.Max != wc.Max {
+				t.Fatalf("row %q cell %q: n/min/max differ: %+v vs %+v", row.Key, name, gc.State, wc.State)
+			}
+			if !approx(gc.Mean, wc.Mean) || !approx(gc.M2, wc.M2) {
+				t.Fatalf("row %q cell %q: mean/M2 beyond reassociation: %+v vs %+v", row.Key, name, gc.State, wc.State)
+			}
+		}
+	}
+}
+
+// TestReportMergerDuplicateAndCoverage pins the coordinator-facing contract:
+// a duplicate shard is rejected with ErrDuplicateShard without corrupting the
+// fold (speculative re-dispatch, first completion wins), and Report before
+// full coverage names the missing shards.
+func TestReportMergerDuplicateAndCoverage(t *testing.T) {
+	parts := shardPartials(t, "table2", Spec{Quick: true, Battery: "kibam"}, 3)
+	want, err := MergeReports(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewReportMerger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(parts[1]); !errors.Is(err, ErrDuplicateShard) {
+		t.Fatalf("duplicate add err = %v, want ErrDuplicateShard", err)
+	}
+	if !m.Seen(1) || m.Seen(0) || m.Added() != 1 {
+		t.Fatalf("merger bookkeeping off: seen(1)=%v seen(0)=%v added=%d", m.Seen(1), m.Seen(0), m.Added())
+	}
+	if _, err := m.Report(); err == nil || !strings.Contains(err.Error(), "0/3") || !strings.Contains(err.Error(), "2/3") {
+		t.Fatalf("incomplete Report err = %v, want missing 0/3 and 2/3 named", err)
+	}
+	if err := m.Add(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(parts[2]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merged report differs from MergeReports after a rejected duplicate")
+	}
+
+	// A partial from a different split or experiment is rejected up front.
+	other := shardPartials(t, "table2", Spec{Quick: true, Battery: "kibam"}, 2)
+	m2, _ := NewReportMerger(3)
+	if err := m2.Add(other[0]); err == nil {
+		t.Fatal("partial of a 2-way split accepted by a 3-way merger")
+	}
+}
+
+// TestShardSpecHash pins the partial content address: distinct per shard,
+// equal for equal (spec, shard), and the disabled shard collapses to the
+// complete run's SpecHash.
+func TestShardSpecHash(t *testing.T) {
+	spec := Spec{Quick: true, Battery: "kibam"}
+	full := SpecHash("table2", spec)
+	if got := ShardSpecHash("table2", spec, Shard{}); got != full {
+		t.Fatalf("unsharded ShardSpecHash = %s, want SpecHash %s", got, full)
+	}
+	seen := map[string]bool{full: true}
+	for i := 0; i < 4; i++ {
+		h := ShardSpecHash("table2", spec, Shard{Index: i, Count: 4})
+		if seen[h] {
+			t.Fatalf("shard %d/4 hash collides", i)
+		}
+		seen[h] = true
+		if h != ShardSpecHash("table2", spec, Shard{Index: i, Count: 4}) {
+			t.Fatal("ShardSpecHash not deterministic")
+		}
+	}
+	if ShardSpecHash("table2", spec, Shard{Index: 0, Count: 4}) == ShardSpecHash("table2", spec, Shard{Index: 0, Count: 2}) {
+		t.Fatal("shard 0/4 and 0/2 share a hash")
+	}
+}

@@ -91,6 +91,13 @@ type JobRequest struct {
 	// (RunOptions.Shard), auto-merged on completion; 0 or 1 runs unsharded.
 	// Requires a shardable experiment when > 1.
 	Shards int `json:"shards,omitempty"`
+	// Shard, when set ("2/4"), runs exactly that one shard slice as a
+	// single-unit job whose artifact is the shard's partial report — the unit
+	// of work a federation coordinator dispatches to workers. The job is
+	// content-addressed by the partial's hash (experiments.ShardSpecHash), so
+	// duplicate dispatches of the same unit coalesce or hit the cache.
+	// Mutually exclusive with Shards > 1; requires a shardable experiment.
+	Shard string `json:"shard,omitempty"`
 }
 
 // ShardStatus reports one shard unit's progress.
@@ -176,6 +183,35 @@ type Health struct {
 	// MeanUnitMs is the recent mean shard-unit execution time (EWMA,
 	// milliseconds) — the quantity behind Retry-After estimates. 0 until the
 	// first unit completes.
+	MeanUnitMs float64 `json:"mean_unit_ms,omitempty"`
+	// Fleet carries the federation coordinator's fleet view; nil on plain
+	// worker daemons.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
+}
+
+// FleetHealth is the federation coordinator's view of its worker fleet,
+// embedded in Health.
+type FleetHealth struct {
+	// Workers and LiveWorkers count registered and currently-live (heartbeat
+	// passing) workers.
+	Workers     int `json:"workers"`
+	LiveWorkers int `json:"live_workers"`
+	// Slots is the fleet's total execution slots across live workers (each
+	// worker's pool size), and FreeSlots the portion not holding a lease.
+	Slots     int `json:"slots"`
+	FreeSlots int `json:"free_slots"`
+	// QueuedUnits and LeasedUnits count shard units waiting for a slot and
+	// units currently under a worker lease.
+	QueuedUnits int `json:"queued_units"`
+	LeasedUnits int `json:"leased_units"`
+	// Redispatches counts units re-dispatched over the coordinator's
+	// lifetime, split by cause: leases that expired (dead or unreachable
+	// workers) and speculative duplicates of stragglers.
+	ExpiredRedispatches   int `json:"expired_redispatches"`
+	SpeculativeDispatches int `json:"speculative_dispatches"`
+	// MeanUnitMs is the fleet-wide EWMA of unit completion time
+	// (dispatch-to-delivery, milliseconds) — the straggler detection
+	// baseline. 0 until the first unit completes.
 	MeanUnitMs float64 `json:"mean_unit_ms,omitempty"`
 }
 

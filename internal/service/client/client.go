@@ -10,12 +10,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"battsched/internal/experiments"
@@ -23,23 +25,28 @@ import (
 )
 
 // Client talks to one experiment daemon. The zero retry configuration fails
-// fast; set MaxRetries to make the client absorb the daemon's 429
-// backpressure with jittered exponential backoff.
+// fast; set MaxRetries to make the client absorb transient rejections — 429
+// queue-full backpressure, 503 draining (a rolling restart), and refused
+// connections (the daemon is down between restarts) — with jittered
+// exponential backoff.
 type Client struct {
 	base string
 	hc   *http.Client
 
-	// MaxRetries is the number of times a request rejected with HTTP 429
-	// (queue full) is retried before the APIError is returned; 0 disables
-	// retries. Each attempt waits the larger of the daemon's Retry-After
-	// hint and a jittered exponential backoff from RetryBaseDelay.
+	// MaxRetries is the number of times a transiently-failed request — HTTP
+	// 429 (queue full), HTTP 503 (daemon draining) or a refused connection
+	// (daemon restarting) — is retried before the APIError (or transport
+	// error) is returned; 0 disables retries. Each attempt waits the larger
+	// of the daemon's Retry-After hint and a jittered exponential backoff
+	// from RetryBaseDelay.
 	MaxRetries int
 	// RetryBaseDelay seeds the exponential backoff (<= 0 selects 100 ms);
 	// attempt n waits base·2ⁿ scaled by a random factor in [0.5, 1.5),
 	// capped at 30 s — unless Retry-After asks for longer.
 	RetryBaseDelay time.Duration
-	// OnRetry, when non-nil, observes every backoff: the status that caused
-	// it, the 1-based attempt number, and the chosen delay.
+	// OnRetry, when non-nil, observes every backoff: the HTTP status that
+	// caused it (0 for a refused connection), the 1-based attempt number,
+	// and the chosen delay.
 	OnRetry func(status, attempt int, delay time.Duration)
 }
 
@@ -67,9 +74,10 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("experiment service: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// do performs one JSON request, retrying 429 responses up to MaxRetries
-// times. A non-2xx response decodes into *APIError; out may be nil to
-// discard the body, or *[]byte to capture it verbatim.
+// do performs one JSON request, retrying transient rejections (429, 503,
+// refused connections) up to MaxRetries times. A non-2xx response decodes
+// into *APIError; out may be nil to discard the body, or *[]byte to capture
+// it verbatim.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var payload []byte
 	if in != nil {
@@ -82,9 +90,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	for attempt := 0; ; attempt++ {
 		data, status, retryAfter, err := c.once(ctx, method, path, payload)
 		if err != nil {
+			// A refused connection means no daemon is listening right now —
+			// the restart gap of a rolling deploy. Same backoff as 429/503,
+			// no Retry-After hint to honour. Anything else (DNS, ctx
+			// cancellation, a reset mid-response) fails fast: the request
+			// may have reached the daemon, so blind replay is not safe for
+			// non-idempotent calls.
+			if errors.Is(err, syscall.ECONNREFUSED) && ctx.Err() == nil && attempt < c.MaxRetries {
+				delay := c.backoff(attempt, 0)
+				if c.OnRetry != nil {
+					c.OnRetry(0, attempt+1, delay)
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(delay):
+				}
+				continue
+			}
 			return err
 		}
-		if status == http.StatusTooManyRequests && attempt < c.MaxRetries {
+		if (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) && attempt < c.MaxRetries {
 			delay := c.backoff(attempt, retryAfter)
 			if c.OnRetry != nil {
 				c.OnRetry(status, attempt+1, delay)

@@ -1,0 +1,131 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetriesDrainingAndQueueFull pins the transient-status retry set: 503
+// (draining) and 429 (queue full) back off and retry up to MaxRetries,
+// honouring Retry-After, while a 400 fails immediately.
+func TestRetriesDrainingAndQueueFull(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		var calls atomic.Int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(status)
+				w.Write([]byte(`{"error":"transient"}`))
+				return
+			}
+			w.Write([]byte(`{"status":"ok"}`))
+		}))
+		defer ts.Close()
+
+		c := New(ts.URL)
+		c.MaxRetries = 3
+		c.RetryBaseDelay = time.Millisecond
+		var retries []int
+		c.OnRetry = func(st, attempt int, _ time.Duration) { retries = append(retries, st) }
+		if _, err := c.Health(context.Background()); err != nil {
+			t.Fatalf("status %d: err after retries: %v", status, err)
+		}
+		if calls.Load() != 3 {
+			t.Fatalf("status %d: %d calls, want 3", status, calls.Load())
+		}
+		if len(retries) != 2 || retries[0] != status || retries[1] != status {
+			t.Fatalf("status %d: OnRetry saw %v", status, retries)
+		}
+	}
+}
+
+// TestNoRetryOnPermanentError pins that a 400 is returned immediately even
+// with retries configured.
+func TestNoRetryOnPermanentError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad spec"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.MaxRetries = 3
+	c.RetryBaseDelay = time.Millisecond
+	_, err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls, want 1 (no retry on 400)", calls.Load())
+	}
+}
+
+// TestRetriesConnectionRefused pins the restart-gap behaviour: a refused
+// connection retries with the same backoff (OnRetry status 0) and succeeds
+// once a daemon starts listening again on the address.
+func TestRetriesConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens: connections are refused
+
+	c := New("http://" + addr)
+	c.MaxRetries = 50
+	c.RetryBaseDelay = 5 * time.Millisecond
+	var transportRetries atomic.Int32
+	started := make(chan struct{})
+	c.OnRetry = func(st, attempt int, _ time.Duration) {
+		if st != 0 {
+			t.Errorf("OnRetry status = %d, want 0 for refused connection", st)
+		}
+		if transportRetries.Add(1) == 2 {
+			close(started) // bring the daemon up after two refusals
+		}
+	}
+	go func() {
+		<-started
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the test will report the retry error
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"status":"ok"}`))
+		})}
+		go srv.Serve(ln2)
+	}()
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after restart gap: %v (retries %d)", err, transportRetries.Load())
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	if transportRetries.Load() < 2 {
+		t.Fatalf("only %d transport retries observed", transportRetries.Load())
+	}
+}
+
+// TestZeroRetriesFailsFast pins that the zero configuration keeps failing
+// fast on refused connections.
+func TestZeroRetriesFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := New("http://" + addr)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("refused connection succeeded with MaxRetries 0")
+	}
+}

@@ -66,6 +66,11 @@ func writeError(w http.ResponseWriter, err error) {
 		}
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
+		// A draining daemon is gone for good (its replacement answers after
+		// restart), so the hint is a short fixed pause: long enough to ride
+		// out a rolling restart, short enough not to stall clients that will
+		// fail over instead.
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrUnknownJob):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrJobNotFinished):

@@ -7,14 +7,26 @@
 // server resumes them instead of dropping the queue a restart (or crash)
 // interrupted.
 //
-// The file is compacted — rewritten with only the live accept records, via
-// temp file + atomic rename — on Open, on Close, and after every
-// compactEvery runtime completions, so it stays proportional to the backlog
-// rather than the daemon's lifetime job count. A crash can truncate at most
-// the final line; replay tolerates a malformed tail and the next compaction
-// drops it. Writes go through the OS page cache without fsync: the journal
+// The federation coordinator additionally journals unit leases: an op "lease"
+// record per dispatch naming the job, the shard unit, the worker it went to
+// and the remote job ID. Replay attaches the latest lease per unit to its
+// Accept, so a restarted coordinator re-dispatches each unfinished unit to
+// the worker that may still be computing it — the worker's singleflight
+// coalescing and content-addressed cache then dedupe instead of re-running.
+//
+// The file is compacted — rewritten with only the live accept records (and
+// their latest leases), via temp file + atomic rename — on Open, on Close,
+// and after every compactEvery runtime completions, so it stays proportional
+// to the backlog rather than the daemon's lifetime job count. A crash can
+// truncate at most the final line; replay tolerates a malformed tail and the
+// next compaction drops it.
+//
+// By default writes go through the OS page cache without fsync: the journal
 // survives process kills and restarts (the failure mode it exists for), not
-// power loss.
+// power loss. Opening with fsync enabled additionally syncs every record to
+// stable storage before the append returns (and syncs compactions before the
+// rename plus the directory after it), making accept/done/lease records
+// power-loss durable at the cost of one fdatasync per record.
 package journal
 
 import (
@@ -24,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 )
@@ -44,36 +57,70 @@ type Accept struct {
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Shards is the requested shard fan-out (0 or 1 runs unsharded).
 	Shards int `json:"shards,omitempty"`
+	// Shard is the single shard slice of a unit-level job ("2/4"; "" for a
+	// complete run). Set by workers executing one federated shard unit,
+	// mutually exclusive with Shards > 1.
+	Shard string `json:"shard,omitempty"`
 	// Hash is the canonical spec hash at admission time — informational:
 	// replay recomputes it, so a ResultsVersion bump between restarts is
 	// honoured instead of trusted from disk.
 	Hash string `json:"hash,omitempty"`
 	// Created is the job's admission time.
 	Created time.Time `json:"created,omitzero"`
+	// Leases holds the latest journaled lease per still-leased unit of the
+	// job. It is populated by Open during replay, never serialised with the
+	// accept record itself (leases are separate records).
+	Leases []Lease `json:"-"`
 }
 
-// record is one JSONL line: an Accept tagged "accept", or a bare "done" ID.
+// Lease is one journaled unit dispatch of the federation coordinator.
+type Lease struct {
+	// Unit is the shard unit in CLI form ("2/4"; "" for the single unit of
+	// an unsharded job).
+	Unit string `json:"unit,omitempty"`
+	// Worker is the base URL of the worker the unit was dispatched to.
+	Worker string `json:"worker"`
+	// Remote is the job ID the worker issued for the unit ("" until known).
+	Remote string `json:"remote,omitempty"`
+	// Expires is the lease deadline at journaling time — informational on
+	// replay (a restarted coordinator re-leases), kept for inspection.
+	Expires time.Time `json:"expires,omitzero"`
+}
+
+// record is one JSONL line: an Accept tagged "accept", a bare "done" ID, or a
+// "lease" carrying the job ID plus the lease fields.
 type record struct {
 	Op string `json:"op"`
 	Accept
+	Lease *Lease `json:"lease,omitempty"`
 }
 
 // Journal is an open job journal. Construct with Open; all methods are safe
 // for concurrent use.
 type Journal struct {
-	mu    sync.Mutex
-	path  string
-	f     *os.File
-	live  map[string]Accept // accepted, not yet done
-	order []string          // admission order of live (may hold stale IDs)
-	dones int               // runtime completions since the last compaction
+	mu     sync.Mutex
+	path   string
+	fsync  bool
+	f      *os.File
+	live   map[string]Accept           // accepted, not yet done
+	leases map[string]map[string]Lease // job ID -> unit -> latest lease
+	order  []string                    // admission order of live (may hold stale IDs)
+	dones  int                         // runtime completions since the last compaction
 }
 
 // Open opens (creating if missing) the journal at path, replays it, compacts
 // it down to its live records, and returns the accepted-but-unfinished
-// records in admission order.
-func Open(path string) (*Journal, []Accept, error) {
-	j := &Journal{path: path, live: make(map[string]Accept)}
+// records in admission order, each with the latest journaled lease per unit
+// attached. With fsync set, every subsequent append is synced to stable
+// storage before it returns (power-loss durability); otherwise records ride
+// the OS page cache (process-kill durability only).
+func Open(path string, fsync bool) (*Journal, []Accept, error) {
+	j := &Journal{
+		path:   path,
+		fsync:  fsync,
+		live:   make(map[string]Accept),
+		leases: make(map[string]map[string]Lease),
+	}
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("journal: reading %s: %w", path, err)
@@ -102,6 +149,15 @@ func Open(path string) (*Journal, []Accept, error) {
 			j.live[rec.ID] = rec.Accept
 		case "done":
 			delete(j.live, rec.ID)
+			delete(j.leases, rec.ID)
+		case "lease":
+			if rec.Lease == nil || rec.ID == "" {
+				continue
+			}
+			if _, ok := j.live[rec.ID]; !ok {
+				continue // lease of a finished or unknown job
+			}
+			j.setLeaseLocked(rec.ID, *rec.Lease)
 		}
 	}
 	backlog := j.liveInOrder()
@@ -116,11 +172,36 @@ func Open(path string) (*Journal, []Accept, error) {
 func (j *Journal) Accept(rec Accept) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	rec.Leases = nil
 	if _, dup := j.live[rec.ID]; !dup {
 		j.order = append(j.order, rec.ID)
 	}
 	j.live[rec.ID] = rec
 	return j.appendLocked(record{Op: "accept", Accept: rec})
+}
+
+// Lease appends one unit dispatch of a live job; the latest lease per unit
+// wins on replay. Leases of jobs the journal does not hold live (finished,
+// never accepted) are a no-op.
+func (j *Journal) Lease(jobID string, l Lease) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.live[jobID]; !ok {
+		return nil
+	}
+	j.setLeaseLocked(jobID, l)
+	return j.appendLocked(record{Op: "lease", Accept: Accept{ID: jobID}, Lease: &l})
+}
+
+// setLeaseLocked records the latest lease of one (job, unit). Callers hold
+// j.mu (or run during single-threaded replay).
+func (j *Journal) setLeaseLocked(jobID string, l Lease) {
+	m, ok := j.leases[jobID]
+	if !ok {
+		m = make(map[string]Lease)
+		j.leases[jobID] = m
+	}
+	m[l.Unit] = l
 }
 
 // Done marks one journaled job finished. Unknown IDs are a no-op (cached
@@ -133,6 +214,7 @@ func (j *Journal) Done(id string) error {
 		return nil
 	}
 	delete(j.live, id)
+	delete(j.leases, id)
 	if err := j.appendLocked(record{Op: "done", Accept: Accept{ID: id}}); err != nil {
 		return err
 	}
@@ -166,18 +248,41 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// liveInOrder returns the live records in admission order.
+// liveInOrder returns the live records in admission order, leases attached
+// (sorted by unit for determinism).
 func (j *Journal) liveInOrder() []Accept {
 	var out []Accept
 	for _, id := range j.order {
-		if rec, ok := j.live[id]; ok {
-			out = append(out, rec)
+		rec, ok := j.live[id]
+		if !ok {
+			continue
 		}
+		rec.Leases = j.jobLeases(id)
+		out = append(out, rec)
 	}
 	return out
 }
 
-// appendLocked writes one record line. Callers hold j.mu.
+// jobLeases returns one job's latest leases sorted by unit.
+func (j *Journal) jobLeases(id string) []Lease {
+	m := j.leases[id]
+	if len(m) == 0 {
+		return nil
+	}
+	units := make([]string, 0, len(m))
+	for unit := range m {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	out := make([]Lease, 0, len(units))
+	for _, unit := range units {
+		out = append(out, m[unit])
+	}
+	return out
+}
+
+// appendLocked writes one record line, syncing it when the journal was opened
+// with fsync. Callers hold j.mu.
 func (j *Journal) appendLocked(rec record) error {
 	if j.f == nil {
 		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -194,11 +299,19 @@ func (j *Journal) appendLocked(rec record) error {
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
 	return nil
 }
 
-// compactLocked rewrites the log with only the live accept records (temp file
-// + rename, so a crash mid-compaction loses nothing). Callers hold j.mu.
+// compactLocked rewrites the log with only the live accept records and their
+// latest leases (temp file + rename, so a crash mid-compaction loses
+// nothing). With fsync, the temp file is synced before the rename and the
+// directory after it, so the compacted log is power-loss durable too.
+// Callers hold j.mu.
 func (j *Journal) compactLocked() error {
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, "journal-*.tmp")
@@ -209,17 +322,32 @@ func (j *Journal) compactLocked() error {
 	keep := j.liveInOrder()
 	ok := true
 	for _, rec := range keep {
-		line, err := json.Marshal(record{Op: "accept", Accept: rec})
-		if err == nil {
-			_, err = w.Write(append(line, '\n'))
+		leases := rec.Leases
+		rec.Leases = nil
+		recs := []record{{Op: "accept", Accept: rec}}
+		for _, l := range leases {
+			recs = append(recs, record{Op: "lease", Accept: Accept{ID: rec.ID}, Lease: &l})
 		}
-		if err != nil {
-			ok = false
+		for _, r := range recs {
+			line, err := json.Marshal(r)
+			if err == nil {
+				_, err = w.Write(append(line, '\n'))
+			}
+			if err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			break
 		}
 	}
 	if ok {
-		ok = w.Flush() == nil && tmp.Close() == nil
+		ok = w.Flush() == nil
+		if ok && j.fsync {
+			ok = tmp.Sync() == nil
+		}
+		ok = tmp.Close() == nil && ok
 	} else {
 		tmp.Close()
 	}
@@ -230,6 +358,13 @@ func (j *Journal) compactLocked() error {
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("journal: %w", err)
+	}
+	if j.fsync {
+		// Sync the directory so the rename itself survives power loss.
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
 	}
 	// The append handle points at the unlinked pre-compaction file; reopen
 	// lazily on the next append.

@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
 
 func openT(t *testing.T, path string) (*Journal, []Accept) {
 	t.Helper()
-	j, backlog, err := Open(path)
+	j, backlog, err := Open(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,3 +146,130 @@ func TestRuntimeCompactionThreshold(t *testing.T) {
 		t.Fatalf("journal grew to %d lines despite compaction", lines)
 	}
 }
+
+// TestLeaseReplay pins the coordinator-facing lease contract: the latest lease
+// per (job, unit) replays attached to its Accept in unit order, Done clears a
+// job's leases, leases of unknown jobs are a no-op, and compaction (Close)
+// preserves live leases.
+func TestLeaseReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	if err := j.Accept(accept("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept(accept("job-000002")); err != nil {
+		t.Fatal(err)
+	}
+	// Two leases of the same unit: the later one wins on replay.
+	if err := j.Lease("job-000001", Lease{Unit: "1/2", Worker: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease("job-000001", Lease{Unit: "0/2", Worker: "http://a", Remote: "job-000007"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease("job-000001", Lease{Unit: "1/2", Worker: "http://b", Remote: "job-000003"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease("job-000002", Lease{Unit: "0/2", Worker: "http://b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease("job-999999", Lease{Unit: "0/2", Worker: "http://c"}); err != nil {
+		t.Fatal(err) // unknown job: no-op, no error
+	}
+	if err := j.Done("job-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, backlog := openT(t, path)
+	defer j2.Close()
+	if len(backlog) != 1 || backlog[0].ID != "job-000001" {
+		t.Fatalf("replay = %+v, want job-000001 only", backlog)
+	}
+	leases := backlog[0].Leases
+	if len(leases) != 2 {
+		t.Fatalf("replayed %d leases, want 2: %+v", len(leases), leases)
+	}
+	if leases[0].Unit != "0/2" || leases[0].Worker != "http://a" || leases[0].Remote != "job-000007" {
+		t.Fatalf("lease 0 = %+v", leases[0])
+	}
+	if leases[1].Unit != "1/2" || leases[1].Worker != "http://b" || leases[1].Remote != "job-000003" {
+		t.Fatalf("lease 1 = %+v, want the later http://b lease to win", leases[1])
+	}
+}
+
+// TestShardFieldRoundTrips pins that a unit-level job's shard slice survives
+// replay (workers journal federated shard units with Shard set).
+func TestShardFieldRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openT(t, path)
+	rec := accept("job-000001")
+	rec.Shards = 0
+	rec.Shard = "2/4"
+	if err := j.Accept(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, backlog := openT(t, path)
+	defer j2.Close()
+	if len(backlog) != 1 || backlog[0].Shard != "2/4" {
+		t.Fatalf("replay = %+v, want Shard 2/4", backlog)
+	}
+}
+
+// TestFsyncModeRoundTrips checks the fsync journal behaves identically at the
+// API level (append, lease, replay, compaction) — the mode only changes
+// durability, never content.
+func TestFsyncModeRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept(accept("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Lease("job-000001", Lease{Unit: "0/2", Worker: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, backlog, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(backlog) != 1 || len(backlog[0].Leases) != 1 {
+		t.Fatalf("fsync replay = %+v", backlog)
+	}
+}
+
+// benchAppend measures the per-record append cost in the given durability
+// mode; the numbers feed the -journal-fsync flag documentation.
+func benchAppend(b *testing.B, fsync bool) {
+	path := filepath.Join(b.TempDir(), "journal.jsonl")
+	j, _, err := Open(path, fsync)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	rec := accept("job-000001")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.ID = "job-" + strconv.Itoa(i)
+		if err := j.Accept(rec); err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Done(rec.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B)      { benchAppend(b, false) }
+func BenchmarkAppendFsync(b *testing.B) { benchAppend(b, true) }

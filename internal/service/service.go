@@ -106,6 +106,11 @@ type Config struct {
 	CacheDir string
 	// CacheEntries bounds the cache's in-memory LRU tier (<= 0 selects 64).
 	CacheEntries int
+	// JournalFsync syncs every journal record to stable storage before the
+	// append returns, upgrading the journal from process-kill durability (the
+	// default: records ride the OS page cache) to power-loss durability. See
+	// the -journal-fsync flag for the measured per-record cost.
+	JournalFsync bool
 	// MaxJobs bounds the job map (<= 0 selects 1024): when a submission
 	// would exceed it, the oldest *terminal* jobs (done or failed, in
 	// completion order) are evicted so the long-running daemon's memory stays
@@ -201,7 +206,7 @@ func New(cfg Config) (*Server, error) {
 	var jr *journal.Journal
 	var backlog []journal.Accept
 	if cfg.CacheDir != "" {
-		jr, backlog, err = journal.Open(filepath.Join(cfg.CacheDir, "journal.jsonl"))
+		jr, backlog, err = journal.Open(filepath.Join(cfg.CacheDir, "journal.jsonl"), cfg.JournalFsync)
 		if err != nil {
 			return nil, err
 		}
@@ -345,6 +350,20 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w: experiment %q is deterministic and does not shard",
 			experiments.ErrBadConfig, req.Experiment)
 	}
+	unitShard, err := experiments.ParseShard(req.Shard)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if unitShard.Enabled() {
+		if req.Shards > 1 {
+			return JobStatus{}, fmt.Errorf("%w: shard %q and shards=%d are mutually exclusive",
+				experiments.ErrBadConfig, req.Shard, req.Shards)
+		}
+		if !def.Shardable {
+			return JobStatus{}, fmt.Errorf("%w: experiment %q is deterministic and does not shard",
+				experiments.ErrBadConfig, req.Experiment)
+		}
+	}
 	spec := req.Spec.Spec()
 	if spec.Battery != "" {
 		// Fail a bad battery name at submission instead of asynchronously.
@@ -353,7 +372,10 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		}
 	}
 	spec.Parallel = s.cfg.Parallel
-	hash := experiments.SpecHash(req.Experiment, spec)
+	// A shard-unit job is content-addressed by its partial's hash (the
+	// complete run's hash when unsharded), so duplicate dispatches of one
+	// unit dedupe exactly like duplicate complete submissions.
+	hash := experiments.ShardSpecHash(req.Experiment, spec, unitShard)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -386,11 +408,11 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		leader.followers = append(leader.followers, j)
 		s.coalesced++
 		s.jobs[j.id] = j
-		s.journalAcceptLocked(j, req.Spec, req.Shards)
+		s.journalAcceptLocked(j, req.Spec, req.Shards, req.Shard)
 		s.evictLocked()
 		return s.statusLocked(j), nil
 	}
-	units := makeUnits(j, req.Shards)
+	units := makeUnits(j, req.Shards, unitShard)
 	if s.queued+len(units) > s.cfg.QueueCapacity {
 		return JobStatus{}, &queueFullError{
 			units: len(units), capacity: s.cfg.QueueCapacity, queued: s.queued,
@@ -402,7 +424,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	j.remaining = len(j.units)
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
-	s.journalAcceptLocked(j, req.Spec, req.Shards)
+	s.journalAcceptLocked(j, req.Spec, req.Shards, req.Shard)
 	s.evictLocked()
 	for _, u := range j.units {
 		s.queued++
@@ -411,8 +433,13 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	return s.statusLocked(j), nil
 }
 
-// makeUnits builds a job's shard units (one unsharded unit for shards <= 1).
-func makeUnits(j *job, shards int) []*unit {
+// makeUnits builds a job's shard units: one unit carrying unitShard for a
+// shard-unit job, one unsharded unit for shards <= 1, one unit per shard
+// otherwise.
+func makeUnits(j *job, shards int, unitShard experiments.Shard) []*unit {
+	if unitShard.Enabled() {
+		return []*unit{{job: j, shard: unitShard, state: StateQueued}}
+	}
 	if shards <= 1 {
 		return []*unit{{job: j, state: StateQueued}}
 	}
@@ -466,12 +493,21 @@ func (s *Server) replayLocked(rec journal.Accept) {
 		fail(fmt.Sprintf("experiment %q does not shard", rec.Experiment))
 		return
 	}
+	unitShard, err := experiments.ParseShard(rec.Shard)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if unitShard.Enabled() && !def.Shardable {
+		fail(fmt.Sprintf("experiment %q does not shard", rec.Experiment))
+		return
+	}
 	spec := sreq.Spec()
 	spec.Parallel = s.cfg.Parallel
 	j.spec = spec
 	// Recompute the content address instead of trusting the journaled one:
 	// a ReportVersion/ResultsVersion bump between restarts must re-run.
-	j.hash = experiments.SpecHash(rec.Experiment, spec)
+	j.hash = experiments.ShardSpecHash(rec.Experiment, spec, unitShard)
 	if artifact, ok := s.cache.Get(j.hash); ok {
 		j.cached = true
 		j.artifact = artifact
@@ -486,7 +522,7 @@ func (s *Server) replayLocked(rec journal.Accept) {
 		s.coalesced++
 		return
 	}
-	j.units = makeUnits(j, rec.Shards)
+	j.units = makeUnits(j, rec.Shards, unitShard)
 	j.state = StateQueued
 	j.remaining = len(j.units)
 	s.inflight[j.hash] = j
@@ -499,7 +535,7 @@ func (s *Server) replayLocked(rec journal.Accept) {
 // journalAcceptLocked appends one accepted job to the WAL. Journal failures
 // degrade durability, not availability: they are logged and the job still
 // runs. Callers hold s.mu.
-func (s *Server) journalAcceptLocked(j *job, spec SpecRequest, shards int) {
+func (s *Server) journalAcceptLocked(j *job, spec SpecRequest, shards int, shard string) {
 	if s.journal == nil {
 		return
 	}
@@ -507,7 +543,7 @@ func (s *Server) journalAcceptLocked(j *job, spec SpecRequest, shards int) {
 	if err == nil {
 		err = s.journal.Accept(journal.Accept{
 			ID: j.id, Experiment: j.experiment, Spec: raw,
-			Shards: shards, Hash: j.hash, Created: j.created,
+			Shards: shards, Shard: shard, Hash: j.hash, Created: j.created,
 		})
 	}
 	if err != nil {
