@@ -13,6 +13,7 @@
 //	GET  /v1/experiments       the experiment registry
 //	GET  /v1/batteries         the battery model registry
 //	GET  /healthz              queue depth, in-flight units, cache stats
+//	GET  /metrics              Prometheus text exposition (same counters)
 //
 // Submitted specs are content-addressed by their canonical hash: a spec whose
 // complete report artifact is already cached — computed by any earlier job,
@@ -36,6 +37,11 @@
 // completion wins. The coordinator serves the same /v1 API, so
 // `cmd/experiments submit` works unchanged against either mode.
 //
+// Both modes serve GET /metrics and, with -cache-dir, append structured
+// span records to events.jsonl there; every submission's X-Trace-Id threads
+// the logs fleet-wide. -debug-addr opens a second listener with
+// net/http/pprof. See EXPERIMENTS.md ("Observability").
+//
 // `cmd/experiments submit` drives a daemon with the same flags as local
 // `run`; see EXPERIMENTS.md ("Serving", "Federation") for walkthroughs.
 package main
@@ -55,6 +61,7 @@ import (
 	"time"
 
 	"battsched/internal/federation"
+	"battsched/internal/profutil"
 	"battsched/internal/service"
 )
 
@@ -83,6 +90,7 @@ func run(args []string) error {
 		// BenchmarkAppendFsync in internal/service/journal).
 		journalFsync = fs.Bool("journal-fsync", false, "fsync every journal record (power-loss durability; ~180x slower appends)")
 
+		debugAddr   = fs.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/ (e.g. 127.0.0.1:6060); empty disables it")
 		coordinator = fs.Bool("coordinator", false, "run as a federation coordinator dispatching to -fleet workers instead of executing locally")
 		fleet       = fs.String("fleet", "", "comma-separated worker base URLs for -coordinator (e.g. http://h1:8344,http://h2:8344); more can register over POST /v1/workers")
 		lease       = fs.Duration("lease", 15*time.Second, "coordinator: unit lease duration (renewed by successful status polls)")
@@ -95,6 +103,11 @@ func run(args []string) error {
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if dln, err := profutil.DebugServer(*debugAddr); err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	} else if dln != nil {
+		log.Printf("battschedd: pprof debug endpoints on http://%s/debug/pprof/", dln.Addr())
 	}
 
 	var daemon interface {

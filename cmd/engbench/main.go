@@ -93,6 +93,7 @@ import (
 	"battsched/internal/battery/stochastic"
 	"battsched/internal/core"
 	"battsched/internal/dvs"
+	"battsched/internal/obs"
 	"battsched/internal/priority"
 	"battsched/internal/profile"
 	"battsched/internal/profutil"
@@ -163,6 +164,12 @@ type report struct {
 	AllocRatio float64 `json:"alloc_ratio"`
 	// SpeedupNs is Recorded.NsPerOp / Discard.NsPerOp.
 	SpeedupNs float64 `json:"speedup_ns"`
+	// Sim is the delta of the process-wide obs.Sim counters over the whole
+	// engine benchmark — how many engine runs and battery simulations (by
+	// dispatch path) the rows above actually executed. Doubles as a check
+	// that the hot-path counters tick: an engine benchmark reporting zero
+	// engine runs means the instrumentation broke.
+	Sim obs.SimSnapshot `json:"sim"`
 }
 
 // batteryMeasurement is one battery model's stepped-versus-analytic lifetime
@@ -477,6 +484,7 @@ func benchGrid() gridMeasurement {
 // benchEngine measures one BAS-2 hyperperiod under each observer sink plus
 // the reused-engine row and the quick-grid throughput row.
 func benchEngine(graphs int) report {
+	simBefore := obs.Sim.Snapshot()
 	rng := rand.New(rand.NewSource(99))
 	sys, err := tgff.GenerateSystem(tgff.DefaultConfig(), graphs, 0.7, 1e9, rng)
 	if err != nil {
@@ -571,6 +579,7 @@ func benchEngine(graphs int) report {
 	if rep.Discard.NsPerOp > 0 {
 		rep.SpeedupNs = rep.Recorded.NsPerOp / rep.Discard.NsPerOp
 	}
+	rep.Sim = obs.Sim.Snapshot().Sub(simBefore)
 	return rep
 }
 

@@ -341,6 +341,9 @@ func cmdSubmit(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The trace id threads this submission through the fleet's JSONL event
+		// logs (grep it in <cache-dir>/events.jsonl on the daemon and workers).
+		fmt.Fprintf(os.Stderr, "experiments: %s submitted as %s trace=%s\n", name, st.ID, st.TraceID)
 		subs = append(subs, submission{name: name, id: st.ID, start: time.Now()})
 	}
 	var (

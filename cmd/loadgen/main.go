@@ -24,6 +24,11 @@
 // client's jittered backoff (honouring Retry-After), and a job's latency is
 // submission through terminal state.
 //
+// After the burst loadgen scrapes GET /metrics and folds the observability
+// surface into the report (queue depth peak, the unit-duration p99
+// interpolated from histogram buckets, total jobs by admission); an
+// unreachable or empty /metrics endpoint exits nonzero.
+//
 // loadgen exits nonzero when the run itself disproves the hardening
 // contract: any job failed, or a duplicate-heavy workload (dup >= 0.5,
 // n >= 50) produced no coalesce/cache hits. With -baseline it additionally
@@ -39,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -47,6 +53,7 @@ import (
 	"time"
 
 	"battsched/internal/federation"
+	"battsched/internal/obs"
 	"battsched/internal/service"
 	"battsched/internal/service/client"
 )
@@ -90,6 +97,29 @@ type report struct {
 	// Health is the daemon's snapshot after the run (queue drained,
 	// lifetime coalesce and cache counters).
 	Health service.Health `json:"health"`
+	// Metrics is the post-burst GET /metrics scrape. An unreachable or empty
+	// /metrics endpoint fails the run — the observability surface is part of
+	// the serving contract.
+	Metrics metricsSummary `json:"metrics"`
+}
+
+// metricsSummary condenses the daemon's Prometheus text into the quantities
+// the load report tracks.
+type metricsSummary struct {
+	// QueueDepthPeak is battsched_queue_depth_peak: the deepest the unit
+	// queue got during the burst.
+	QueueDepthPeak float64 `json:"queue_depth_peak"`
+	// UnitP99Ms interpolates the 99th percentile unit duration from the
+	// battsched_unit_duration_seconds histogram buckets (milliseconds).
+	UnitP99Ms float64 `json:"unit_p99_ms"`
+	// UnitCount is the histogram's _count: units executed (worker) or
+	// delivered (coordinator).
+	UnitCount float64 `json:"unit_count"`
+	// JobsTotal sums battsched_jobs_total across admission labels.
+	JobsTotal float64 `json:"jobs_total"`
+	// Samples counts every parsed sample line — a coarse "the endpoint
+	// renders" signal.
+	Samples int `json:"samples"`
 }
 
 func main() {
@@ -274,6 +304,10 @@ func hammer(base, experiment, battery string, n, c int, dup float64, shards, max
 	if err != nil {
 		return report{}, fmt.Errorf("post-run health: %w", err)
 	}
+	ms, err := scrapeMetrics(base)
+	if err != nil {
+		return report{}, fmt.Errorf("post-run /metrics scrape: %w", err)
+	}
 	sort.Float64s(latencies)
 	rep.Benchmark = "loadgen"
 	rep.Experiment = experiment
@@ -289,7 +323,50 @@ func hammer(base, experiment, battery string, n, c int, dup float64, shards, max
 	rep.MaxMs = latencies[len(latencies)-1]
 	rep.Retries429 = int(retries429.Load())
 	rep.Health = h
+	rep.Metrics = ms
 	return rep, nil
+}
+
+// scrapeMetrics fetches and condenses the daemon's /metrics endpoint. Any
+// failure — unreachable endpoint, non-200, unparseable or empty text — is an
+// error, which run() turns into a nonzero exit: a daemon that cannot be
+// scraped is a regression even when the jobs all passed.
+func scrapeMetrics(base string) (metricsSummary, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return metricsSummary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return metricsSummary{}, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return metricsSummary{}, err
+	}
+	samples, err := obs.ParseText(text)
+	if err != nil {
+		return metricsSummary{}, err
+	}
+	if len(samples) == 0 {
+		return metricsSummary{}, fmt.Errorf("GET /metrics returned no samples")
+	}
+	ms := metricsSummary{Samples: len(samples)}
+	if s, ok := obs.Find(samples, "battsched_queue_depth_peak"); ok {
+		ms.QueueDepthPeak = s.Value
+	}
+	if q, ok := obs.BucketQuantile(samples, "battsched_unit_duration_seconds", 0.99); ok {
+		ms.UnitP99Ms = q * 1e3
+	}
+	if s, ok := obs.Find(samples, "battsched_unit_duration_seconds_count"); ok {
+		ms.UnitCount = s.Value
+	}
+	for _, s := range samples {
+		if s.Name == "battsched_jobs_total" {
+			ms.JobsTotal += s.Value
+		}
+	}
+	return ms, nil
 }
 
 // percentile returns the p-quantile of sorted values (nearest-rank).

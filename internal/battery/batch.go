@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"battsched/internal/obs"
 	"battsched/internal/profile"
 )
 
@@ -40,10 +41,12 @@ func SimulateBatch(models []Model, p *profile.Profile, opts SimulateOptions) ([]
 		return nil, fmt.Errorf("%w: %v", ErrBadProfile, err)
 	}
 	opts.setDefaults()
+	obs.Sim.BatteryBatches.Add(1)
 	results := make([]Result, len(models))
 	var stepped []steppedEntry
 	for i, m := range models {
 		if sd, ok := analyticDrainer(m, opts.MaxStep); ok {
+			obs.Sim.BatteryAnalytic.Add(1)
 			r, err := simulateAnalytic(sd, p, opts)
 			if err != nil {
 				return nil, err
@@ -57,6 +60,7 @@ func SimulateBatch(models []Model, p *profile.Profile, opts SimulateOptions) ([]
 	if steppedOpts.MaxStep <= 0 {
 		steppedOpts.MaxStep = 1.0
 	}
+	obs.Sim.BatteryStepped.Add(uint64(len(stepped)))
 	if err := simulateSteppedBatch(stepped, p, steppedOpts, results); err != nil {
 		return nil, err
 	}

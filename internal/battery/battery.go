@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"battsched/internal/obs"
 	"battsched/internal/profile"
 )
 
@@ -191,11 +192,13 @@ func SimulateUntilExhausted(m Model, p *profile.Profile, opts SimulateOptions) (
 	}
 	opts.setDefaults()
 	if sd, ok := analyticDrainer(m, opts.MaxStep); ok {
+		obs.Sim.BatteryAnalytic.Add(1)
 		return simulateAnalytic(sd, p, opts)
 	}
 	if opts.MaxStep <= 0 {
 		opts.MaxStep = 1.0
 	}
+	obs.Sim.BatteryStepped.Add(1)
 	return simulateStepped(m, p, opts)
 }
 

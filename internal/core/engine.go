@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"battsched/internal/dvs"
+	"battsched/internal/obs"
 	"battsched/internal/priority"
 	"battsched/internal/processor"
 	"battsched/internal/profile"
@@ -124,6 +125,7 @@ func (en *Engine) Run() (*Result, error) {
 		return nil, ErrEngineNotReady
 	}
 	en.ready = false
+	obs.Sim.EngineRuns.Add(1)
 	return en.e.run(), nil
 }
 

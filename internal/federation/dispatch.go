@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 	"battsched/internal/service"
 )
 
@@ -75,6 +76,9 @@ func (co *Coordinator) heartbeatRound() {
 	defer co.mu.Unlock()
 	for _, r := range collected {
 		if r.ok {
+			if !r.w.live {
+				co.events.Emit(obs.Event{Event: obs.EventWorkerUp, Worker: r.w.url})
+			}
 			r.w.live = true
 			r.w.fails = 0
 			r.w.slots = r.slots
@@ -83,8 +87,8 @@ func (co *Coordinator) heartbeatRound() {
 		}
 		r.w.fails++
 		if r.w.fails >= co.cfg.DeadAfter && r.w.live {
-			r.w.live = false
-			co.expireWorkerLeasesLocked(r.w)
+			co.markWorkerDownLocked(r.w, obs.ReasonHeartbeatMiss,
+				fmt.Sprintf("%d consecutive heartbeat probes failed", r.w.fails))
 		}
 	}
 }
@@ -104,18 +108,28 @@ func (co *Coordinator) leaseFailed(l *lease, msg string, err error) {
 	co.failLeaseLocked(l, msg)
 	var ne net.Error
 	if errors.As(err, &ne) || errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
-		co.markWorkerDownLocked(l.w, msg)
+		co.markWorkerDownLocked(l.w, obs.ReasonTransportError, msg)
 	}
 }
 
 // markWorkerDownLocked takes a worker out of dispatch rotation and expires
-// its outstanding leases. The next passing heartbeat probe revives it.
-// Callers hold co.mu.
-func (co *Coordinator) markWorkerDownLocked(w *worker, why string) {
+// its outstanding leases, recording the verdict — reason is the structured
+// cause (obs.ReasonHeartbeatMiss or obs.ReasonTransportError), why the
+// free-form one. The next passing heartbeat probe revives it. Callers hold
+// co.mu.
+func (co *Coordinator) markWorkerDownLocked(w *worker, reason, why string) {
 	if !w.live {
 		return
 	}
-	log.Printf("federation: marking worker %s down: %s", w.url, why)
+	log.Printf("federation: marking worker %s down (%s): %s", w.url, reason, why)
+	if reason == obs.ReasonTransportError {
+		co.met.downTransport.Inc()
+	} else {
+		co.met.downHeartbeat.Inc()
+	}
+	co.events.Emit(obs.Event{
+		Event: obs.EventWorkerDown, Worker: w.url, Reason: reason, Detail: why,
+	})
 	w.live = false
 	w.fails = co.cfg.DeadAfter
 	co.expireWorkerLeasesLocked(w)
@@ -128,6 +142,7 @@ func (co *Coordinator) expireWorkerLeasesLocked(w *worker) {
 		for _, u := range j.units {
 			for _, l := range u.leases {
 				if l.w == w && !l.cancelled {
+					co.met.leaseExpiries.Inc()
 					co.failLeaseLocked(l, fmt.Sprintf("worker %s stopped answering heartbeats", w.url))
 				}
 			}
@@ -245,7 +260,13 @@ func (co *Coordinator) runLease(l *lease) {
 	if hook := co.cfg.OnDispatch; hook != nil {
 		hook(j.id, u.shard, l.w.url)
 	}
-	req := service.JobRequest{Experiment: j.experiment, Spec: j.specReq}
+	co.events.Emit(obs.Event{
+		Event: obs.EventUnitLeased, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Unit: unitName(u), Worker: l.w.url,
+	})
+	// The job's trace id rides the X-Trace-Id header of every unit dispatch,
+	// so the worker's event log carries the same trace as the coordinator's.
+	req := service.JobRequest{Experiment: j.experiment, Spec: j.specReq, TraceID: j.trace}
 	if u.shard.Enabled() {
 		req.Shard = u.shard.String()
 	}
@@ -295,6 +316,7 @@ func (co *Coordinator) runLease(l *lease) {
 		if !l.cancelled {
 			// The worker is answering: renew the lease.
 			l.expires = time.Now().Add(co.cfg.LeaseDuration)
+			co.met.leaseRenewals.Inc()
 		}
 		cancelled = l.cancelled
 		co.mu.Unlock()
@@ -321,13 +343,21 @@ func (co *Coordinator) failLeaseLocked(l *lease, msg string) {
 	}
 	if u.attempts >= co.cfg.MaxAttempts {
 		u.state = service.StateFailed
+		co.events.Emit(obs.Event{
+			Event: obs.EventUnitFailed, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Unit: unitName(u), Worker: l.w.url, Detail: msg,
+		})
 		co.completeLocked(j, service.StateFailed,
 			fmt.Sprintf("unit %s failed after %d attempts: %s", unitName(u), u.attempts, msg), true)
 		return
 	}
 	// Every path here — an expired lease, a dead worker, a transport error, a
 	// worker-reported failure — ends in the same re-dispatch, counted once.
-	co.expiredRe++
+	co.met.expiredRe.Inc()
+	co.events.Emit(obs.Event{
+		Event: obs.EventUnitRedispatched, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Unit: unitName(u), Worker: l.w.url, Detail: msg,
+	})
 	log.Printf("federation: re-queueing %s unit %s (attempt %d): %s", j.id, unitName(u), u.attempts, msg)
 	u.state = service.StateQueued
 	co.enqueueLocked(u)
@@ -391,6 +421,7 @@ func (co *Coordinator) monitorRound() {
 			// unreachable) — re-queue elsewhere.
 			for _, l := range u.leases {
 				if !l.cancelled && now.After(l.expires) {
+					co.met.leaseExpiries.Inc()
 					co.failLeaseLocked(l, fmt.Sprintf("lease on %s expired", l.w.url))
 				}
 			}
@@ -403,7 +434,12 @@ func (co *Coordinator) monitorRound() {
 					threshold = mean
 				}
 				if now.Sub(l.started) > threshold {
-					co.speculative++
+					co.met.speculative.Inc()
+					co.events.Emit(obs.Event{
+						Event: obs.EventSpeculative, Trace: j.trace, Job: j.id,
+						Experiment: j.experiment, Unit: unitName(u), Worker: l.w.url,
+						Detail: fmt.Sprintf("%.1fs > %.1fs threshold", now.Sub(l.started).Seconds(), threshold.Seconds()),
+					})
 					log.Printf("federation: %s unit %s is a straggler on %s (%.1fs > %.1fs); dispatching a duplicate",
 						j.id, unitName(u), l.w.url, now.Sub(l.started).Seconds(), threshold.Seconds())
 					co.enqueueLocked(u)
@@ -446,6 +482,17 @@ func (co *Coordinator) deliver(l *lease, raw []byte) {
 	} else {
 		co.meanUnitNs = 0.8*co.meanUnitNs + 0.2*float64(dur)
 	}
+	if l.w.meanUnitNs == 0 {
+		l.w.meanUnitNs = float64(dur)
+	} else {
+		l.w.meanUnitNs = 0.8*l.w.meanUnitNs + 0.2*float64(dur)
+	}
+	co.met.unitDur.Observe(dur.Seconds())
+	co.events.Emit(obs.Event{
+		Event: obs.EventUnitFinished, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Unit: unitName(u), Worker: l.w.url,
+		Detail: dur.Round(time.Millisecond).String(),
+	})
 	// Cancel any other outstanding copies of this unit; their pollers exit.
 	for _, ol := range u.leases {
 		co.releaseLocked(ol)
@@ -500,14 +547,19 @@ func (co *Coordinator) finalizeLocked(j *fedJob) {
 		return
 	}
 	j.artifact = buf.Bytes()
+	co.events.Emit(obs.Event{
+		Event: obs.EventMerge, Trace: j.trace, Job: j.id, Experiment: j.experiment,
+		Detail: fmt.Sprintf("%d shard partials", len(j.units)),
+	})
 	co.putCacheLocked(j.hash, j.artifact)
 	co.completeLocked(j, service.StateDone, "", true)
 }
 
-// putCacheLocked stores one artifact, logging (not failing) on error.
-// Callers hold co.mu.
+// putCacheLocked stores one artifact, counting and logging (not failing) on
+// error. Callers hold co.mu.
 func (co *Coordinator) putCacheLocked(hash string, raw []byte) {
 	if err := co.cache.Put(hash, raw); err != nil {
+		co.met.cacheWriteErr.Inc()
 		log.Printf("federation: artifact cache write failed (kept in memory): %v", err)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 	"battsched/internal/service"
 	"battsched/internal/service/cache"
 	"battsched/internal/service/client"
@@ -137,18 +138,20 @@ func (cfg *Config) fillDefaults() {
 
 // worker is one registered battschedd.
 type worker struct {
-	url    string
-	sub    *client.Client // submits and polls: a couple of retries absorb restarts
-	probe  *client.Client // heartbeats: fail fast, the heartbeat loop is the retry
-	live   bool
-	fails  int // consecutive failed heartbeats
-	slots  int // the worker's pool size, from its last health snapshot
-	leased int // units this coordinator currently leases to it
+	url        string
+	sub        *client.Client // submits and polls: a couple of retries absorb restarts
+	probe      *client.Client // heartbeats: fail fast, the heartbeat loop is the retry
+	live       bool
+	fails      int     // consecutive failed heartbeats
+	slots      int     // the worker's pool size, from its last health snapshot
+	leased     int     // units this coordinator currently leases to it
+	meanUnitNs float64 // per-worker EWMA of dispatch-to-delivery unit time
 }
 
 // fedJob is one accepted coordinator job.
 type fedJob struct {
 	id         string
+	trace      string // fleet-wide trace id, forwarded on every unit dispatch
 	experiment string
 	hash       string // the complete run's content address
 	specReq    service.SpecRequest
@@ -207,15 +210,17 @@ type Coordinator struct {
 	journal      *journal.Journal
 	terminal     []string
 	queue        []*funit // FIFO dispatch queue
+	queuedPeak   int      // high-water mark of len(queue)
 	seq          int
 	draining     bool
 	shutdownOnce sync.Once
 	shutdownDone chan struct{}
 
-	coalesced   int
-	expiredRe   int     // lease-expiry re-dispatches
-	speculative int     // straggler duplicate dispatches
-	meanUnitNs  float64 // EWMA of dispatch-to-delivery unit time
+	metrics *obs.Registry
+	met     fedMetrics
+	events  *obs.EventLog // nil without CacheDir
+
+	meanUnitNs float64 // EWMA of dispatch-to-delivery unit time
 }
 
 // New constructs a coordinator, replays its journal (when CacheDir is set)
@@ -238,8 +243,12 @@ func New(cfg Config) (*Coordinator, error) {
 		shutdownDone: make(chan struct{}),
 	}
 	co.cond = sync.NewCond(&co.mu)
+	co.metrics = obs.NewRegistry()
+	co.met = newFedMetrics(co.metrics)
+	co.registerGauges()
 	for _, url := range cfg.Workers {
 		co.addWorkerLocked(url)
+		co.registerWorkerMetrics(url)
 	}
 	var backlog []journal.Accept
 	if cfg.CacheDir != "" {
@@ -247,6 +256,13 @@ func New(cfg Config) (*Coordinator, error) {
 		if err != nil {
 			cancel()
 			return nil, err
+		}
+		co.events, err = obs.OpenEventLog(filepath.Join(cfg.CacheDir, "events.jsonl"))
+		if err != nil {
+			// Observability must not take the coordinator down: run without
+			// the event log (Emit on nil is a no-op).
+			log.Printf("federation: opening event log: %v", err)
+			co.events = nil
 		}
 	}
 	co.mu.Lock()
@@ -264,6 +280,11 @@ func New(cfg Config) (*Coordinator, error) {
 // AddWorker registers one worker URL (idempotent). The next heartbeat
 // round-trip makes it live and dispatchable.
 func (co *Coordinator) AddWorker(url string) {
+	// Per-worker gauges register BEFORE co.mu is taken: registration takes the
+	// registry write lock, and a concurrent /metrics render holds the registry
+	// read lock while its callbacks take co.mu — registering under co.mu would
+	// be a lock-order inversion (see the obs locking contract).
+	co.registerWorkerMetrics(url)
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.addWorkerLocked(url)
@@ -349,11 +370,13 @@ func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error)
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.draining {
+		co.met.rejectedDrain.Inc()
 		return service.JobStatus{}, service.ErrDraining
 	}
 	co.seq++
 	j := &fedJob{
 		id:         fmt.Sprintf("job-%06d", co.seq),
+		trace:      req.TraceID,
 		experiment: req.Experiment,
 		hash:       hash,
 		specReq:    req.Spec,
@@ -361,10 +384,15 @@ func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error)
 		shards:     req.Shards,
 		created:    time.Now(),
 	}
-	if artifact, ok := co.cache.Get(hash); ok {
+	if j.trace == "" {
+		j.trace = obs.NewTraceID()
+	}
+	if artifact, ok := co.cacheGetLocked(j, hash); ok {
 		j.cached = true
 		j.artifact = artifact
 		co.jobs[j.id] = j
+		co.met.jobsCached.Inc()
+		co.emitAcceptLocked(j, "cached")
 		co.finishLocked(j, service.StateDone, "")
 		co.evictLocked()
 		return co.statusLocked(j), nil
@@ -374,7 +402,8 @@ func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error)
 		j.state = leader.state
 		j.started = leader.started
 		leader.followers = append(leader.followers, j)
-		co.coalesced++
+		co.met.jobsCoalesced.Inc()
+		co.emitAcceptLocked(j, "coalesced")
 		co.jobs[j.id] = j
 		co.journalAcceptLocked(j)
 		co.evictLocked()
@@ -382,6 +411,7 @@ func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error)
 	}
 	units := co.buildUnits(j)
 	if backlog := co.backlogLocked(); backlog+len(units) > co.cfg.QueueCapacity {
+		co.met.rejectedFull.Inc()
 		return service.JobStatus{}, &fleetBusyError{
 			units: len(units), capacity: co.cfg.QueueCapacity, backlog: backlog,
 			retryAfter: co.retryAfterLocked(),
@@ -392,12 +422,42 @@ func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error)
 	j.remaining = len(units)
 	co.jobs[j.id] = j
 	co.inflight[hash] = j
+	co.met.jobsComputed.Inc()
+	co.emitAcceptLocked(j, "computed")
 	co.journalAcceptLocked(j)
 	co.evictLocked()
 	for _, u := range units {
 		co.enqueueLocked(u)
 	}
 	return co.statusLocked(j), nil
+}
+
+// cacheGetLocked looks up one content address for job j, counting the hit or
+// miss on the registry and mirroring it into the event log. Callers hold
+// co.mu.
+func (co *Coordinator) cacheGetLocked(j *fedJob, hash string) ([]byte, bool) {
+	artifact, ok := co.cache.Get(hash)
+	name := obs.EventCacheMiss
+	if ok {
+		co.met.cacheHits.Inc()
+		name = obs.EventCacheHit
+	} else {
+		co.met.cacheMisses.Inc()
+	}
+	co.events.Emit(obs.Event{
+		Event: name, Trace: j.trace, Job: j.id, Experiment: j.experiment,
+		Detail: hash,
+	})
+	return artifact, ok
+}
+
+// emitAcceptLocked records one job admission in the event log; detail is the
+// admission path (computed, coalesced, cached, replayed). Callers hold co.mu.
+func (co *Coordinator) emitAcceptLocked(j *fedJob, detail string) {
+	co.events.Emit(obs.Event{
+		Event: obs.EventJobAccepted, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Detail: detail,
+	})
 }
 
 // buildUnits constructs a job's units and, for sharded jobs, its incremental
@@ -466,6 +526,9 @@ func (co *Coordinator) enqueueLocked(u *funit) {
 	}
 	u.queued = true
 	co.queue = append(co.queue, u)
+	if len(co.queue) > co.queuedPeak {
+		co.queuedPeak = len(co.queue)
+	}
 	co.cond.Broadcast()
 }
 
@@ -485,8 +548,12 @@ func (co *Coordinator) replayLocked(rec journal.Accept) {
 	if created.IsZero() {
 		created = time.Now()
 	}
-	j := &fedJob{id: rec.ID, experiment: rec.Experiment, shards: rec.Shards, created: created}
+	j := &fedJob{id: rec.ID, trace: rec.Trace, experiment: rec.Experiment, shards: rec.Shards, created: created}
+	if j.trace == "" {
+		j.trace = obs.NewTraceID()
+	}
 	co.jobs[j.id] = j
+	co.emitAcceptLocked(j, "replayed")
 	fail := func(msg string) {
 		j.state = service.StateRunning
 		co.completeLocked(j, service.StateFailed, "journal replay: "+msg, true)
@@ -506,10 +573,11 @@ func (co *Coordinator) replayLocked(rec journal.Accept) {
 	}
 	j.spec = j.specReq.Spec()
 	j.hash = experiments.SpecHash(rec.Experiment, j.spec)
-	if artifact, ok := co.cache.Get(j.hash); ok {
+	if artifact, ok := co.cacheGetLocked(j, j.hash); ok {
 		j.cached = true
 		j.artifact = artifact
 		j.state = service.StateRunning
+		co.met.jobsCached.Inc()
 		co.completeLocked(j, service.StateDone, "", true)
 		return
 	}
@@ -517,7 +585,7 @@ func (co *Coordinator) replayLocked(rec journal.Accept) {
 		j.coalesced = true
 		j.state = leader.state
 		leader.followers = append(leader.followers, j)
-		co.coalesced++
+		co.met.jobsCoalesced.Inc()
 		return
 	}
 	prefer := make(map[string]string, len(rec.Leases))
@@ -528,12 +596,13 @@ func (co *Coordinator) replayLocked(rec journal.Accept) {
 	j.state = service.StateQueued
 	j.remaining = len(j.units)
 	co.inflight[j.hash] = j
+	co.met.jobsComputed.Inc()
 	for _, u := range j.units {
 		// A partial the previous coordinator already cached folds without a
 		// dispatch — this is what "resumes from the journal without
 		// re-running cached units" means.
 		if u.shard.Enabled() {
-			if raw, ok := co.cache.Get(experiments.ShardSpecHash(j.experiment, j.spec, u.shard)); ok {
+			if raw, ok := co.cacheGetLocked(j, experiments.ShardSpecHash(j.experiment, j.spec, u.shard)); ok {
 				if rep, err := decodePartial(raw); err == nil {
 					if err := co.foldLocked(u, rep); err == nil {
 						continue
@@ -576,10 +645,11 @@ func (co *Coordinator) journalAcceptLocked(j *fedJob) {
 	if err == nil {
 		err = co.journal.Accept(journal.Accept{
 			ID: j.id, Experiment: j.experiment, Spec: raw,
-			Shards: j.shards, Hash: j.hash, Created: j.created,
+			Shards: j.shards, Hash: j.hash, Created: j.created, Trace: j.trace,
 		})
 	}
 	if err != nil {
+		co.met.journalError(err)
 		log.Printf("federation: journaling job %s failed (job runs, restart will not resume it): %v", j.id, err)
 	}
 }
@@ -593,16 +663,30 @@ func (co *Coordinator) journalLeaseLocked(l *lease) {
 		Unit: l.unit.shard.String(), Worker: l.w.url, Remote: l.remote, Expires: l.expires,
 	})
 	if err != nil {
+		co.met.journalError(err)
 		log.Printf("federation: journaling lease of %s %s: %v", l.unit.job.id, l.unit.shard.String(), err)
 	}
 }
 
-// finishLocked marks a job terminal exactly once. Callers hold co.mu.
+// finishLocked marks a job terminal exactly once, counting and logging the
+// terminal transition. Callers hold co.mu.
 func (co *Coordinator) finishLocked(j *fedJob, state, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	co.terminal = append(co.terminal, j.id)
+	if state == service.StateDone {
+		co.met.jobsDone.Inc()
+		co.events.Emit(obs.Event{
+			Event: obs.EventJobDone, Trace: j.trace, Job: j.id, Experiment: j.experiment,
+		})
+	} else {
+		co.met.jobsFailed.Inc()
+		co.events.Emit(obs.Event{
+			Event: obs.EventJobFailed, Trace: j.trace, Job: j.id, Experiment: j.experiment,
+			Detail: errMsg,
+		})
+	}
 }
 
 // completeLocked finishes a non-terminal job and its followers, cancels any
@@ -625,6 +709,7 @@ func (co *Coordinator) completeLocked(j *fedJob, state, errMsg string, journalDo
 	}
 	if journalDone && co.journal != nil {
 		if err := co.journal.Done(j.id); err != nil {
+			co.met.journalError(err)
 			log.Printf("federation: journaling completion of %s: %v", j.id, err)
 		}
 	}
@@ -638,6 +723,7 @@ func (co *Coordinator) completeLocked(j *fedJob, state, errMsg string, journalDo
 		co.finishLocked(f, state, errMsg)
 		if journalDone && co.journal != nil {
 			if err := co.journal.Done(f.id); err != nil {
+				co.met.journalError(err)
 				log.Printf("federation: journaling completion of %s: %v", f.id, err)
 			}
 		}
@@ -699,6 +785,7 @@ func (co *Coordinator) statusLocked(j *fedJob) service.JobStatus {
 	st := service.JobStatus{
 		ID:         j.id,
 		Experiment: j.experiment,
+		TraceID:    j.trace,
 		Hash:       j.hash,
 		State:      j.state,
 		Cached:     j.cached,
@@ -722,15 +809,16 @@ func (co *Coordinator) statusLocked(j *fedJob) service.JobStatus {
 func (co *Coordinator) Health() service.Health {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	hits, misses := co.cache.Stats()
 	status := "ok"
 	if co.draining {
 		status = "draining"
 	}
+	// Lifetime counters are read back from the metrics registry, so /healthz
+	// and /metrics cannot disagree (pinned by TestFleetHealthMatchesMetrics).
 	fleet := &service.FleetHealth{
 		Workers:               len(co.workers),
-		ExpiredRedispatches:   co.expiredRe,
-		SpeculativeDispatches: co.speculative,
+		ExpiredRedispatches:   int(co.met.expiredRe.Value()),
+		SpeculativeDispatches: int(co.met.speculative.Value()),
 		MeanUnitMs:            co.meanUnitNs / 1e6,
 	}
 	leased := 0
@@ -748,18 +836,19 @@ func (co *Coordinator) Health() service.Health {
 	fleet.LeasedUnits = leased
 	fleet.QueuedUnits = len(co.queue)
 	return service.Health{
-		Status:        status,
-		QueueDepth:    len(co.queue),
-		QueueCapacity: co.cfg.QueueCapacity,
-		InFlight:      leased,
-		Workers:       fleet.Slots,
-		Jobs:          len(co.jobs),
-		CoalescedJobs: co.coalesced,
-		CacheEntries:  co.cache.Len(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		MeanUnitMs:    co.meanUnitNs / 1e6,
-		Fleet:         fleet,
+		Status:           status,
+		QueueDepth:       len(co.queue),
+		QueueCapacity:    co.cfg.QueueCapacity,
+		InFlight:         leased,
+		Workers:          fleet.Slots,
+		Jobs:             len(co.jobs),
+		CoalescedJobs:    int(co.met.jobsCoalesced.Value()),
+		CacheEntries:     co.cache.Len(),
+		CacheHits:        int(co.met.cacheHits.Value()),
+		CacheMisses:      int(co.met.cacheMisses.Value()),
+		CacheWriteErrors: int(co.met.cacheWriteErr.Value()),
+		MeanUnitMs:       co.meanUnitNs / 1e6,
+		Fleet:            fleet,
 	}
 }
 
@@ -829,10 +918,12 @@ drain:
 	}
 	if co.journal != nil {
 		if err := co.journal.Close(); err != nil {
+			co.met.journalError(err)
 			log.Printf("federation: closing journal: %v", err)
 		}
 		co.journal = nil
 	}
 	co.mu.Unlock()
+	co.events.Close()
 	close(co.shutdownDone)
 }

@@ -11,6 +11,7 @@ import (
 
 	"battsched/internal/battery"
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 	"battsched/internal/service"
 )
 
@@ -29,6 +30,11 @@ const maxRequestBody = 1 << 20
 //	GET  /v1/workers           the worker registry with liveness and leases
 //	POST /v1/workers           register a worker {"url": "http://host:port"}
 //	GET  /healthz              the Health snapshot with the fleet section
+//	GET  /metrics              the metrics registry in Prometheus text format
+//
+// POST /v1/jobs reads the X-Trace-Id header into the submission's trace id
+// (see obs.TraceHeader), which is forwarded on every unit dispatch so the
+// whole fleet logs under one trace.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
@@ -39,6 +45,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workers", co.handleWorkers)
 	mux.HandleFunc("POST /v1/workers", co.handleRegister)
 	mux.HandleFunc("GET /healthz", co.handleHealth)
+	mux.Handle("GET /metrics", co.metrics.Handler())
 	return mux
 }
 
@@ -87,6 +94,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job request: %v", err)})
 		return
 	}
+	req.TraceID = obs.TraceFromRequest(r)
 	st, err := co.Submit(req)
 	if err != nil {
 		writeError(w, err)

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// TraceHeader is the HTTP header carrying a submission's trace id. The typed
+// client stamps it on every POST /v1/jobs; the coordinator forwards the same
+// id on each shard unit it dispatches, so one id threads the whole fleet.
+const TraceHeader = "X-Trace-Id"
+
+// NewTraceID returns a fresh 128-bit random trace id as 32 hex digits.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform entropy source is broken;
+		// a constant id degrades tracing, not correctness.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceFromRequest extracts the trace id from an incoming request ("" when
+// the caller did not send one).
+func TraceFromRequest(req *http.Request) string {
+	return req.Header.Get(TraceHeader)
+}

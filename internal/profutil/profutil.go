@@ -1,13 +1,18 @@
 // Package profutil wires runtime/pprof behind the -cpuprofile/-memprofile
 // flags of the command-line tools (cmd/engbench, cmd/experiments), so hot
 // paths can be inspected with `go tool pprof` without ad-hoc instrumentation.
+// DebugServer does the same for the long-running daemons: an opt-in
+// net/http/pprof listener behind battschedd's -debug-addr flag.
 package profutil
 
 import (
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	rpprof "runtime/pprof"
 )
 
 // Start begins profiling as requested: cpuPath starts a CPU profile, memPath
@@ -22,14 +27,14 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, err
 		}
 	}
 	return func() error {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			rpprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return err
 			}
@@ -43,7 +48,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			// freed objects — what the zero-alloc engine work cares about;
 			// an up-to-date GC cycle makes the in-use numbers meaningful too.
 			runtime.GC()
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			if err := rpprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 				f.Close()
 				return err
 			}
@@ -53,6 +58,31 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// DebugServer starts an HTTP server on addr serving the net/http/pprof
+// endpoints under /debug/pprof/ — live profiling for long-running daemons
+// (battschedd -debug-addr). The handlers are mounted on a private mux, NOT
+// http.DefaultServeMux, so the debug surface exists only on this listener
+// and never leaks onto the daemon's API port. The server runs until the
+// process exits; the returned listener reports the bound address (useful
+// with ":0"). An empty addr is a no-op returning (nil, nil).
+func DebugServer(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
 }
 
 // MustStart is Start for command main functions: flag-driven profiling that

@@ -98,6 +98,12 @@ type JobRequest struct {
 	// duplicate dispatches of the same unit coalesce or hit the cache.
 	// Mutually exclusive with Shards > 1; requires a shardable experiment.
 	Shard string `json:"shard,omitempty"`
+	// TraceID is the submission's fleet-wide trace id. It travels as the
+	// X-Trace-Id header (obs.TraceHeader), not in the JSON body — the typed
+	// client stamps it on every POST and the HTTP layer folds it back into
+	// the decoded request — so the wire body (and therefore nothing
+	// output-determining) is unchanged. Empty means the server issues one.
+	TraceID string `json:"-"`
 }
 
 // ShardStatus reports one shard unit's progress.
@@ -121,6 +127,10 @@ type JobStatus struct {
 	ID string `json:"id"`
 	// Experiment is the registry name the job runs.
 	Experiment string `json:"experiment"`
+	// TraceID is the fleet-wide trace id threading this job's records
+	// through the JSONL event logs (client-issued, or server-issued for
+	// untraced submissions).
+	TraceID string `json:"trace_id,omitempty"`
 	// Hash is the canonical spec hash (experiments.SpecHash) — the content
 	// address of the job's report artifact in the cache.
 	Hash string `json:"hash"`

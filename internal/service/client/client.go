@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 	"battsched/internal/service"
 )
 
@@ -77,8 +78,9 @@ func (e *APIError) Error() string {
 // do performs one JSON request, retrying transient rejections (429, 503,
 // refused connections) up to MaxRetries times. A non-2xx response decodes
 // into *APIError; out may be nil to discard the body, or *[]byte to capture
-// it verbatim.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// it verbatim. A non-empty trace is sent as the X-Trace-Id header on every
+// attempt, so retries stay attributable to one submission.
+func (c *Client) do(ctx context.Context, method, path, trace string, in, out any) error {
 	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -88,7 +90,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		payload = data
 	}
 	for attempt := 0; ; attempt++ {
-		data, status, retryAfter, err := c.once(ctx, method, path, payload)
+		data, status, retryAfter, err := c.once(ctx, method, path, trace, payload)
 		if err != nil {
 			// A refused connection means no daemon is listening right now —
 			// the restart gap of a rolling deploy. Same backoff as 429/503,
@@ -146,7 +148,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 
 // once performs a single HTTP attempt, returning the body, status, and the
 // parsed Retry-After hint (0 when absent).
-func (c *Client) once(ctx context.Context, method, path string, payload []byte) ([]byte, int, time.Duration, error) {
+func (c *Client) once(ctx context.Context, method, path, trace string, payload []byte) ([]byte, int, time.Duration, error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -157,6 +159,9 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte) 
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -195,17 +200,22 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 
 // Submit posts one job and returns its initial status — State done with
 // Cached set when the daemon answered from the report cache, queued
-// otherwise.
+// otherwise. Every submission carries an X-Trace-Id header: req.TraceID when
+// set, a fresh obs.NewTraceID otherwise — read it back from the returned
+// status (TraceID) to correlate the job across the fleet's event logs.
 func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	if req.TraceID == "" {
+		req.TraceID = obs.NewTraceID()
+	}
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req.TraceID, req, &st)
 	return st, err
 }
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, "", nil, &st)
 	return st, err
 }
 
@@ -243,7 +253,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, observ
 // the bytes the equivalent local `cmd/experiments run -o` writes.
 func (c *Client) ReportArtifact(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &raw)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", "", nil, &raw)
 	return raw, err
 }
 
@@ -260,27 +270,27 @@ func (c *Client) Reports(ctx context.Context, id string) ([]*experiments.Report,
 // plain-text table (?format=table).
 func (c *Client) ReportTable(ctx context.Context, id string) (string, error) {
 	var raw []byte
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report?format=table", nil, &raw)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report?format=table", "", nil, &raw)
 	return string(raw), err
 }
 
 // Experiments lists the daemon's experiment registry.
 func (c *Client) Experiments(ctx context.Context) ([]service.ExperimentInfo, error) {
 	var infos []service.ExperimentInfo
-	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &infos)
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", "", nil, &infos)
 	return infos, err
 }
 
 // Batteries lists the daemon's battery model registry.
 func (c *Client) Batteries(ctx context.Context) ([]string, error) {
 	var names []string
-	err := c.do(ctx, http.MethodGet, "/v1/batteries", nil, &names)
+	err := c.do(ctx, http.MethodGet, "/v1/batteries", "", nil, &names)
 	return names, err
 }
 
 // Health fetches the daemon's health snapshot.
 func (c *Client) Health(ctx context.Context) (service.Health, error) {
 	var h service.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &h)
 	return h, err
 }

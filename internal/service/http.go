@@ -11,6 +11,7 @@ import (
 
 	"battsched/internal/battery"
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 )
 
 // maxRequestBody bounds POST payloads; a JobRequest is a few hundred bytes.
@@ -26,6 +27,10 @@ const maxRequestBody = 1 << 20
 //	GET  /v1/experiments       the experiment registry
 //	GET  /v1/batteries         the battery model registry
 //	GET  /healthz              queue depth, in-flight units, cache stats
+//	GET  /metrics              the metrics registry in Prometheus text format
+//
+// POST /v1/jobs reads the X-Trace-Id header into the submission's trace id
+// (see obs.TraceHeader); JobStatus echoes it as trace_id.
 //
 // Errors are JSON {"error": ...} with 400 (bad request/spec), 404 (unknown
 // job), 409 (report of an unfinished job), 429 (queue full, with a
@@ -39,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/batteries", s.handleBatteries)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	return mux
 }
 
@@ -91,6 +97,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job request: %v", err)})
 		return
 	}
+	req.TraceID = obs.TraceFromRequest(r)
 	st, err := s.Submit(req)
 	if err != nil {
 		writeError(w, err)

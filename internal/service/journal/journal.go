@@ -33,6 +33,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -40,6 +41,11 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrCompaction tags compaction failures in errors returned by Done and
+// Close, so callers can mirror them on a metrics registry separately from
+// plain append failures (errors.Is unwraps it).
+var ErrCompaction = errors.New("journal: compaction failed")
 
 // compactEvery is the number of runtime "done" records after which the log is
 // rewritten without its finished entries.
@@ -67,6 +73,10 @@ type Accept struct {
 	Hash string `json:"hash,omitempty"`
 	// Created is the job's admission time.
 	Created time.Time `json:"created,omitzero"`
+	// Trace is the submission's trace id (obs.TraceHeader), retained so a
+	// restarted daemon's resumed work stays attributable to the original
+	// fleet-wide trace.
+	Trace string `json:"trace,omitempty"`
 	// Leases holds the latest journaled lease per still-leased unit of the
 	// job. It is populated by Open during replay, never serialised with the
 	// accept record itself (leases are separate records).
@@ -311,8 +321,15 @@ func (j *Journal) appendLocked(rec record) error {
 // latest leases (temp file + rename, so a crash mid-compaction loses
 // nothing). With fsync, the temp file is synced before the rename and the
 // directory after it, so the compacted log is power-loss durable too.
-// Callers hold j.mu.
+// Failures carry ErrCompaction. Callers hold j.mu.
 func (j *Journal) compactLocked() error {
+	if err := j.doCompactLocked(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCompaction, err)
+	}
+	return nil
+}
+
+func (j *Journal) doCompactLocked() error {
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, "journal-*.tmp")
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"battsched/internal/experiments"
+	"battsched/internal/obs"
 	"battsched/internal/service/cache"
 	"battsched/internal/service/journal"
 )
@@ -131,12 +132,15 @@ type Config struct {
 // Handler, and stop with Close (immediate) or Shutdown (graceful drain).
 // Submit and Job are also usable directly for in-process embedding.
 type Server struct {
-	cfg    Config
-	cache  *cache.Cache
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
-	queue  chan *unit
+	cfg     Config
+	cache   *cache.Cache
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *unit
+	metrics *obs.Registry
+	met     serverMetrics
+	events  *obs.EventLog // nil without CacheDir; Emit is nil-safe
 
 	drainIdle    chan struct{} // closed when draining and no unit is in flight
 	drainOnce    sync.Once
@@ -149,11 +153,10 @@ type Server struct {
 	journal      *journal.Journal
 	terminal     []string // terminal job IDs in completion order (eviction queue)
 	queued       int      // units in the queue
+	queuedPeak   int      // high-water mark of queued
 	inFlight     int      // units executing
 	seq          int
 	draining     bool
-	coalesced    int             // followers attached over the daemon's lifetime
-	cacheErrs    int             // report cache write failures
 	cacheErrSeen map[string]bool // distinct cache write errors already logged
 	meanUnitNs   float64         // EWMA of unit execution duration
 }
@@ -162,6 +165,7 @@ type Server struct {
 type job struct {
 	id         string
 	experiment string
+	trace      string // fleet-wide trace id (obs.TraceHeader)
 	hash       string
 	spec       experiments.Spec
 	state      string
@@ -220,18 +224,32 @@ func New(cfg Config) (*Server, error) {
 		queueCap = n
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:          cfg,
 		cache:        c,
 		ctx:          ctx,
 		cancel:       cancel,
 		queue:        make(chan *unit, queueCap),
+		metrics:      reg,
+		met:          newServerMetrics(reg),
 		drainIdle:    make(chan struct{}),
 		shutdownDone: make(chan struct{}),
 		jobs:         make(map[string]*job),
 		inflight:     make(map[string]*job),
 		journal:      jr,
 		cacheErrSeen: make(map[string]bool),
+	}
+	s.registerGauges()
+	if cfg.CacheDir != "" {
+		// The event log is telemetry, never availability: a failed open is
+		// logged and the daemon runs without it (Emit is nil-safe).
+		ev, err := obs.OpenEventLog(filepath.Join(cfg.CacheDir, "events.jsonl"))
+		if err != nil {
+			log.Printf("service: opening event log: %v", err)
+		} else {
+			s.events = ev
+		}
 	}
 	s.mu.Lock()
 	for _, rec := range backlog {
@@ -323,11 +341,15 @@ func (s *Server) doShutdown(ctx context.Context) {
 	}
 	if s.journal != nil {
 		if err := s.journal.Close(); err != nil {
+			s.met.journalError(err)
 			log.Printf("service: closing job journal: %v", err)
 		}
 		s.journal = nil
 	}
 	s.mu.Unlock()
+	if err := s.events.Close(); err != nil {
+		log.Printf("service: closing event log: %v", err)
+	}
 	close(s.shutdownDone)
 }
 
@@ -380,20 +402,30 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.met.rejectedDrain.Inc()
 		return JobStatus{}, ErrDraining
 	}
 	s.seq++
 	j := &job{
 		id:         fmt.Sprintf("job-%06d", s.seq),
 		experiment: req.Experiment,
+		trace:      req.TraceID,
 		hash:       hash,
 		spec:       spec,
 		created:    time.Now(),
 	}
-	if artifact, ok := s.cache.Get(hash); ok {
+	if j.trace == "" {
+		// Untraced submission (raw curl): issue a server-side id so the
+		// event log still threads this job's records together.
+		j.trace = obs.NewTraceID()
+	}
+	if artifact, ok := s.cacheGetLocked(j, hash); ok {
 		j.cached = true
 		j.artifact = artifact
 		s.jobs[j.id] = j
+		s.met.jobsCached.Inc()
+		s.events.Emit(obs.Event{Event: obs.EventJobAccepted, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: "cached"})
 		s.finishLocked(j, StateDone, "")
 		s.evictLocked()
 		return s.statusLocked(j), nil
@@ -406,14 +438,17 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		j.state = leader.state
 		j.started = leader.started
 		leader.followers = append(leader.followers, j)
-		s.coalesced++
+		s.met.jobsCoalesced.Inc()
 		s.jobs[j.id] = j
+		s.events.Emit(obs.Event{Event: obs.EventJobAccepted, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: "coalesced"})
 		s.journalAcceptLocked(j, req.Spec, req.Shards, req.Shard)
 		s.evictLocked()
 		return s.statusLocked(j), nil
 	}
 	units := makeUnits(j, req.Shards, unitShard)
 	if s.queued+len(units) > s.cfg.QueueCapacity {
+		s.met.rejectedFull.Inc()
 		return JobStatus{}, &queueFullError{
 			units: len(units), capacity: s.cfg.QueueCapacity, queued: s.queued,
 			retryAfter: s.retryAfterLocked(),
@@ -424,13 +459,44 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	j.remaining = len(j.units)
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
+	s.met.jobsComputed.Inc()
+	s.events.Emit(obs.Event{Event: obs.EventJobAccepted, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Detail: "computed"})
 	s.journalAcceptLocked(j, req.Spec, req.Shards, req.Shard)
 	s.evictLocked()
+	s.enqueueLocked(j)
+	return s.statusLocked(j), nil
+}
+
+// enqueueLocked queues every unit of a newly-admitted job, tracking the
+// queue-depth high-water mark. Callers hold s.mu and have verified capacity
+// (admission bound, or a backlog-sized queue on replay).
+func (s *Server) enqueueLocked(j *job) {
 	for _, u := range j.units {
 		s.queued++
+		s.events.Emit(obs.Event{Event: obs.EventUnitQueued, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Unit: u.shard.String()})
 		s.queue <- u // never blocks: queued <= QueueCapacity <= cap(queue)
 	}
-	return s.statusLocked(j), nil
+	if s.queued > s.queuedPeak {
+		s.queuedPeak = s.queued
+	}
+}
+
+// cacheGetLocked wraps the report cache lookup, mirroring hit/miss onto the
+// registry and the event log. Callers hold s.mu.
+func (s *Server) cacheGetLocked(j *job, hash string) ([]byte, bool) {
+	artifact, ok := s.cache.Get(hash)
+	if ok {
+		s.met.cacheHits.Inc()
+		s.events.Emit(obs.Event{Event: obs.EventCacheHit, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: hash})
+	} else {
+		s.met.cacheMisses.Inc()
+		s.events.Emit(obs.Event{Event: obs.EventCacheMiss, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: hash})
+	}
+	return artifact, ok
 }
 
 // makeUnits builds a job's shard units: one unit carrying unitShard for a
@@ -473,7 +539,10 @@ func (s *Server) replayLocked(rec journal.Accept) {
 	if created.IsZero() {
 		created = time.Now()
 	}
-	j := &job{id: rec.ID, experiment: rec.Experiment, created: created}
+	j := &job{id: rec.ID, experiment: rec.Experiment, trace: rec.Trace, created: created}
+	if j.trace == "" {
+		j.trace = obs.NewTraceID()
+	}
 	s.jobs[j.id] = j
 	fail := func(msg string) {
 		j.state = StateRunning // completeLocked requires a non-terminal state
@@ -508,10 +577,11 @@ func (s *Server) replayLocked(rec journal.Accept) {
 	// Recompute the content address instead of trusting the journaled one:
 	// a ReportVersion/ResultsVersion bump between restarts must re-run.
 	j.hash = experiments.ShardSpecHash(rec.Experiment, spec, unitShard)
-	if artifact, ok := s.cache.Get(j.hash); ok {
+	if artifact, ok := s.cacheGetLocked(j, j.hash); ok {
 		j.cached = true
 		j.artifact = artifact
 		j.state = StateRunning
+		s.met.jobsCached.Inc()
 		s.completeLocked(j, StateDone, "", true)
 		return
 	}
@@ -519,17 +589,17 @@ func (s *Server) replayLocked(rec journal.Accept) {
 		j.coalesced = true
 		j.state = leader.state
 		leader.followers = append(leader.followers, j)
-		s.coalesced++
+		s.met.jobsCoalesced.Inc()
 		return
 	}
 	j.units = makeUnits(j, rec.Shards, unitShard)
 	j.state = StateQueued
 	j.remaining = len(j.units)
 	s.inflight[j.hash] = j
-	for _, u := range j.units {
-		s.queued++
-		s.queue <- u // the queue is sized to hold the whole backlog
-	}
+	s.met.jobsComputed.Inc()
+	s.events.Emit(obs.Event{Event: obs.EventJobAccepted, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Detail: "replayed"})
+	s.enqueueLocked(j) // the queue is sized to hold the whole backlog
 }
 
 // journalAcceptLocked appends one accepted job to the WAL. Journal failures
@@ -544,9 +614,11 @@ func (s *Server) journalAcceptLocked(j *job, spec SpecRequest, shards int, shard
 		err = s.journal.Accept(journal.Accept{
 			ID: j.id, Experiment: j.experiment, Spec: raw,
 			Shards: shards, Shard: shard, Hash: j.hash, Created: j.created,
+			Trace: j.trace,
 		})
 	}
 	if err != nil {
+		s.met.journalError(err)
 		log.Printf("service: journaling job %s failed (job runs, restart will not resume it): %v", j.id, err)
 	}
 }
@@ -557,6 +629,7 @@ func (s *Server) journalDoneLocked(id string) {
 		return
 	}
 	if err := s.journal.Done(id); err != nil {
+		s.met.journalError(err)
 		log.Printf("service: journaling completion of %s: %v", id, err)
 	}
 }
@@ -568,6 +641,15 @@ func (s *Server) finishLocked(j *job, state, errMsg string) {
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	s.terminal = append(s.terminal, j.id)
+	if state == StateDone {
+		s.met.jobsDone.Inc()
+		s.events.Emit(obs.Event{Event: obs.EventJobDone, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment})
+	} else {
+		s.met.jobsFailed.Inc()
+		s.events.Emit(obs.Event{Event: obs.EventJobFailed, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: errMsg})
+	}
 }
 
 // completeLocked finishes a non-terminal job and all its still-pending
@@ -666,11 +748,13 @@ func (s *Server) Artifact(id string) ([]byte, error) {
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	hits, misses := s.cache.Stats()
 	status := "ok"
 	if s.draining {
 		status = "draining"
 	}
+	// The lifetime counters read straight off the metrics registry — the
+	// same series /metrics renders — so the two endpoints agree by
+	// construction (pinned by TestHealthMatchesMetrics).
 	return Health{
 		Status:           status,
 		QueueDepth:       s.queued,
@@ -678,11 +762,11 @@ func (s *Server) Health() Health {
 		InFlight:         s.inFlight,
 		Workers:          s.cfg.Workers,
 		Jobs:             len(s.jobs),
-		CoalescedJobs:    s.coalesced,
+		CoalescedJobs:    int(s.met.jobsCoalesced.Value()),
 		CacheEntries:     s.cache.Len(),
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		CacheWriteErrors: s.cacheErrs,
+		CacheHits:        int(s.met.cacheHits.Value()),
+		CacheMisses:      int(s.met.cacheMisses.Value()),
+		CacheWriteErrors: int(s.met.cacheWriteErr.Value()),
 		MeanUnitMs:       s.meanUnitNs / 1e6,
 	}
 }
@@ -692,6 +776,7 @@ func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
 		ID:         j.id,
 		Experiment: j.experiment,
+		TraceID:    j.trace,
 		Hash:       j.hash,
 		State:      j.state,
 		Cached:     j.cached,
@@ -746,6 +831,8 @@ func (s *Server) runUnit(u *unit) {
 	}
 	s.inFlight++
 	u.state = StateRunning
+	s.events.Emit(obs.Event{Event: obs.EventUnitStarted, Trace: j.trace, Job: j.id,
+		Experiment: j.experiment, Unit: u.shard.String()})
 	if j.state == StateQueued {
 		j.state = StateRunning
 		j.started = time.Now()
@@ -779,6 +866,7 @@ func (s *Server) runUnit(u *unit) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inFlight--
+	s.met.unitDur.Observe(dur.Seconds())
 	// EWMA of unit duration feeds the Retry-After backpressure estimate.
 	if s.meanUnitNs == 0 {
 		s.meanUnitNs = float64(dur)
@@ -787,6 +875,8 @@ func (s *Server) runUnit(u *unit) {
 	}
 	if err != nil {
 		u.state = StateFailed
+		s.events.Emit(obs.Event{Event: obs.EventUnitFailed, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Unit: u.shard.String(), Detail: err.Error()})
 		if s.ctx.Err() != nil {
 			// Cancelled by Close/expired drain: abandon without journaling
 			// completion, so a restart resumes the job.
@@ -797,6 +887,8 @@ func (s *Server) runUnit(u *unit) {
 	} else {
 		u.state = StateDone
 		u.rep = rep
+		s.events.Emit(obs.Event{Event: obs.EventUnitFinished, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Unit: u.shard.String(), Detail: dur.Round(time.Millisecond).String()})
 		j.remaining--
 		if j.remaining == 0 {
 			s.finalizeLocked(j)
@@ -823,6 +915,8 @@ func (s *Server) finalizeLocked(j *job) {
 			return
 		}
 		rep = merged
+		s.events.Emit(obs.Event{Event: obs.EventMerge, Trace: j.trace, Job: j.id,
+			Experiment: j.experiment, Detail: fmt.Sprintf("%d shard partials", len(j.units))})
 	}
 	var buf bytes.Buffer
 	if err := experiments.WriteArtifact(&buf, []*experiments.Report{rep}); err != nil {
@@ -834,7 +928,7 @@ func (s *Server) finalizeLocked(j *job) {
 	// the artifact is already in memory; only future resubmissions lose the
 	// shortcut. It is counted in Health and logged once per distinct error.
 	if err := s.cache.Put(j.hash, j.artifact); err != nil {
-		s.cacheErrs++
+		s.met.cacheWriteErr.Inc()
 		if !s.cacheErrSeen[err.Error()] {
 			s.cacheErrSeen[err.Error()] = true
 			log.Printf("service: report cache write failed (artifact kept in memory): %v", err)
